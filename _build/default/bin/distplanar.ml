@@ -1,0 +1,246 @@
+(* distplanar — command-line front end.
+
+   Subcommands:
+     embed    run the distributed embedding algorithm on a generated graph
+              and print the per-node rotations plus the round/congestion
+              report
+     baseline run the trivial gather-everything algorithm for comparison
+     check    centralized planarity test only (DMP)
+     families list the available graph families
+
+   Example:
+     distplanar embed --family grid --rows 4 --cols 5 --rotations
+     distplanar embed --family maxplanar -n 2000 --mode economy
+     distplanar baseline --family k4subdiv --seglen 64 *)
+
+open Cmdliner
+
+let make_graph family n rows cols seglen seed m chord_prob =
+  match family with
+  | "path" -> Gen.path n
+  | "cycle" -> Gen.cycle n
+  | "star" -> Gen.star n
+  | "tree" -> Gen.random_tree ~seed n
+  | "binary-tree" -> Gen.binary_tree n
+  | "grid" -> Gen.grid rows cols
+  | "trigrid" -> Gen.triangular_grid rows cols
+  | "wheel" -> Gen.wheel n
+  | "maxplanar" -> Gen.random_maximal_planar ~seed n
+  | "planar" ->
+      let m = if m > 0 then m else min ((3 * n) - 6) (2 * n) in
+      Gen.random_planar ~seed ~n ~m
+  | "outerplanar" -> Gen.random_outerplanar ~seed ~n ~chord_prob
+  | "k4subdiv" -> Gen.k4_subdivision seglen
+  | "k4" -> Gen.complete 4
+  | "k5" -> Gen.k5 ()
+  | "k33" -> Gen.k33 ()
+  | "petersen" -> Gen.petersen ()
+  | "toroidal" -> Gen.toroidal_grid rows cols
+  | other ->
+      Printf.eprintf "unknown family %S; try `distplanar families'\n" other;
+      exit 2
+
+let family_doc =
+  "Graph family: path, cycle, star, tree, binary-tree, grid, trigrid, \
+   wheel, maxplanar, planar, outerplanar, k4subdiv, k4, k5, k33, petersen, \
+   toroidal."
+
+let family_t =
+  Arg.(value & opt string "maxplanar" & info [ "family"; "f" ] ~doc:family_doc)
+
+let n_t = Arg.(value & opt int 100 & info [ "n" ] ~doc:"Number of vertices.")
+let rows_t = Arg.(value & opt int 8 & info [ "rows" ] ~doc:"Grid rows.")
+let cols_t = Arg.(value & opt int 8 & info [ "cols" ] ~doc:"Grid columns.")
+
+let seglen_t =
+  Arg.(value & opt int 16 & info [ "seglen" ] ~doc:"K4-subdivision segment length.")
+
+let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+
+let m_t =
+  Arg.(value & opt int 0 & info [ "m" ] ~doc:"Edge count for --family planar (0 = default).")
+
+let chord_t =
+  Arg.(value & opt float 0.5 & info [ "chord-prob" ] ~doc:"Outerplanar chord probability.")
+
+let mode_t =
+  let mode_conv =
+    Arg.enum [ ("faithful", Part.Faithful); ("economy", Part.Economy) ]
+  in
+  Arg.(value & opt mode_conv Part.Faithful & info [ "mode" ] ~doc:"faithful | economy.")
+
+let checks_t =
+  Arg.(value & flag & info [ "checks" ] ~doc:"Validate safety invariants at every merge.")
+
+let rotations_t =
+  Arg.(value & flag & info [ "rotations" ] ~doc:"Print the per-node clockwise orders.")
+
+let print_report_common ~phases ~rounds ~total_bits ~max_edge_bits =
+  Printf.printf "rounds           : %d\n" rounds;
+  List.iter (fun (name, r) -> Printf.printf "  %-28s %6d\n" name r) phases;
+  Printf.printf "total bits       : %d\n" total_bits;
+  Printf.printf "max bits per edge: %d\n" max_edge_bits
+
+let print_rotation r =
+  let g = Rotation.graph r in
+  for v = 0 to Gr.n g - 1 do
+    let order =
+      String.concat " "
+        (List.map string_of_int (Array.to_list (Rotation.rotation r v)))
+    in
+    Printf.printf "  %4d : (%s)\n" v order
+  done
+
+let graph_summary g =
+  Printf.printf "graph            : n=%d m=%d%s\n" (Gr.n g) (Gr.m g)
+    (if Traverse.is_connected g then
+       Printf.sprintf " diameter=%d" (Traverse.diameter g)
+     else " (disconnected)")
+
+let embed_cmd =
+  let run family n rows cols seglen seed m chord mode checks rotations =
+    let g = make_graph family n rows cols seglen seed m chord in
+    graph_summary g;
+    let o = Embedder.run ~mode ~checks g in
+    let r = o.Embedder.report in
+    Printf.printf "algorithm        : distributed recursive embedding (Theorem 1.1)\n";
+    Printf.printf "bandwidth        : %d bits/edge/round\n" r.Embedder.bandwidth;
+    Printf.printf "leader           : %d (BFS depth %d)\n" r.Embedder.leader
+      r.Embedder.bfs_depth;
+    Printf.printf "recursion        : depth %d, %d calls, max %d parts at a \
+                   restricted merge\n"
+      r.Embedder.recursion_depth r.Embedder.recursion_calls
+      r.Embedder.max_parts_at_restricted_merge;
+    Printf.printf "merges           : %d pairwise, %d star, %d \
+                   vertex-coordinated, %d path-coordinated, %d retired\n"
+      r.Embedder.merges_pairwise r.Embedder.merges_star r.Embedder.merges_vertex
+      r.Embedder.merges_path r.Embedder.retired_parts;
+    if checks then
+      Printf.printf "safety checks    : %d merges validated\n" r.Embedder.safety_checks;
+    print_report_common ~phases:r.Embedder.phases ~rounds:r.Embedder.rounds
+      ~total_bits:r.Embedder.total_bits ~max_edge_bits:r.Embedder.max_edge_bits;
+    match o.Embedder.rotation with
+    | None ->
+        Printf.printf "verdict          : NOT PLANAR\n";
+        exit 1
+    | Some rot ->
+        Printf.printf "verdict          : planar (independent Euler check: %s, %d faces)\n"
+          (if Rotation.is_planar_embedding rot then "passed" else "FAILED")
+          (Rotation.face_count rot);
+        if rotations then print_rotation rot
+  in
+  let term =
+    Term.(
+      const run $ family_t $ n_t $ rows_t $ cols_t $ seglen_t $ seed_t $ m_t
+      $ chord_t $ mode_t $ checks_t $ rotations_t)
+  in
+  Cmd.v (Cmd.info "embed" ~doc:"Run the distributed planar embedding algorithm.") term
+
+let baseline_cmd =
+  let run family n rows cols seglen seed m chord rotations =
+    let g = make_graph family n rows cols seglen seed m chord in
+    graph_summary g;
+    let o = Baseline.run g in
+    let r = o.Baseline.report in
+    Printf.printf "algorithm        : trivial gather-everything baseline (footnote 2)\n";
+    print_report_common ~phases:r.Baseline.phases ~rounds:r.Baseline.rounds
+      ~total_bits:r.Baseline.total_bits ~max_edge_bits:r.Baseline.max_edge_bits;
+    match o.Baseline.rotation with
+    | None ->
+        Printf.printf "verdict          : NOT PLANAR\n";
+        exit 1
+    | Some rot ->
+        Printf.printf "verdict          : planar (Euler check: %s)\n"
+          (if Rotation.is_planar_embedding rot then "passed" else "FAILED");
+        if rotations then print_rotation rot
+  in
+  let term =
+    Term.(
+      const run $ family_t $ n_t $ rows_t $ cols_t $ seglen_t $ seed_t $ m_t
+      $ chord_t $ rotations_t)
+  in
+  Cmd.v (Cmd.info "baseline" ~doc:"Run the O(n) gather-everything baseline.") term
+
+let check_cmd =
+  let run family n rows cols seglen seed m chord =
+    let g = make_graph family n rows cols seglen seed m chord in
+    graph_summary g;
+    match Dmp.embed g with
+    | Dmp.Planar r ->
+        Printf.printf "planar: yes (%d faces, genus %d)\n" (Rotation.face_count r)
+          (Rotation.genus r)
+    | Dmp.Nonplanar ->
+        Printf.printf "planar: no\n";
+        exit 1
+  in
+  let term =
+    Term.(
+      const run $ family_t $ n_t $ rows_t $ cols_t $ seglen_t $ seed_t $ m_t
+      $ chord_t)
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Centralized planarity test (DMP).") term
+
+let witness_cmd =
+  let run family n rows cols seglen seed m chord =
+    let g = make_graph family n rows cols seglen seed m chord in
+    graph_summary g;
+    match Kuratowski.witness g with
+    | None -> Printf.printf "planar: no Kuratowski witness exists\n"
+    | Some edges ->
+        let kind = Kuratowski.classify g edges in
+        Printf.printf "non-planar; edge-minimal witness (%d edges, %s):\n"
+          (List.length edges)
+          (match kind with
+          | Some Kuratowski.K5 -> "a K5 subdivision"
+          | Some Kuratowski.K33 -> "a K3,3 subdivision"
+          | None -> "UNCLASSIFIED (bug)");
+        List.iter (fun (u, v) -> Printf.printf "  %d -- %d\n" u v) edges;
+        exit 1
+  in
+  let term =
+    Term.(
+      const run $ family_t $ n_t $ rows_t $ cols_t $ seglen_t $ seed_t $ m_t
+      $ chord_t)
+  in
+  Cmd.v
+    (Cmd.info "witness" ~doc:"Extract a Kuratowski non-planarity certificate.")
+    term
+
+let separator_cmd =
+  let run family n rows cols seglen seed m chord =
+    let g = make_graph family n rows cols seglen seed m chord in
+    graph_summary g;
+    let s = Separator.separate g in
+    Printf.printf "separator (%d vertices, balance %.2f): %s\n"
+      (List.length s.Separator.separator)
+      s.Separator.balance
+      (String.concat " " (List.map string_of_int s.Separator.separator));
+    Printf.printf "components: %s\n"
+      (String.concat " "
+         (List.map
+            (fun c -> string_of_int (List.length c))
+            s.Separator.components));
+    assert (Separator.check g s)
+  in
+  let term =
+    Term.(
+      const run $ family_t $ n_t $ rows_t $ cols_t $ seglen_t $ seed_t $ m_t
+      $ chord_t)
+  in
+  Cmd.v
+    (Cmd.info "separator"
+       ~doc:"Compute a balanced Lipton-Tarjan separator of a planar graph.")
+    term
+
+let families_cmd =
+  let run () = print_endline family_doc in
+  Cmd.v (Cmd.info "families" ~doc:"List graph families.") Term.(const run $ const ())
+
+let () =
+  let doc =
+    "Distributed planar embedding in the CONGEST model (reproduction of \
+     Ghaffari & Haeupler, PODC 2016)."
+  in
+  let info = Cmd.info "distplanar" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+       [ embed_cmd; baseline_cmd; check_cmd; witness_cmd; separator_cmd; families_cmd ]))

@@ -1,0 +1,1 @@
+examples/divide_and_conquer.ml: Array Gen Gr Hashtbl List Printf Separator Traverse

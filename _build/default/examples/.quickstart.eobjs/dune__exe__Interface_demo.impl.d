@@ -1,0 +1,1 @@
+examples/interface_demo.ml: Array Bicon Constrained Format Gen Gr Iface List Partition Pqtree Printf String

@@ -1,0 +1,1 @@
+examples/lower_bound_k4.ml: Array Embedder Gen Gr Hashtbl List Part Printf Rotation String Traverse

@@ -1,0 +1,1 @@
+examples/planar_mst.ml: Dmp Embedder Gen Gr List Mst Part Printf Rotation Traverse

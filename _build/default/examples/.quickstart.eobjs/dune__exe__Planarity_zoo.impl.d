@@ -1,0 +1,1 @@
+examples/planarity_zoo.ml: Dmp Embedder Gen Gr List Printf Rotation

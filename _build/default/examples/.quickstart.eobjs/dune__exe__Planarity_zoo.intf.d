@@ -1,0 +1,1 @@
+examples/planarity_zoo.mli:

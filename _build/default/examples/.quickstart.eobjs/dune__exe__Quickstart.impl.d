@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Baseline Embedder Gr List Printf Rotation String Traverse

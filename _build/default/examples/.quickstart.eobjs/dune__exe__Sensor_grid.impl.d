@@ -1,0 +1,1 @@
+examples/sensor_grid.ml: Array Baseline Embedder Gen Gr List Part Printf Random Rotation String Traverse

@@ -1,0 +1,1 @@
+lib/congest/costmodel.ml: Gr Hashtbl List Metrics Network

@@ -1,0 +1,1 @@
+lib/congest/costmodel.mli: Gr Metrics

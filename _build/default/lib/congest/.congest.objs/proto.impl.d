@@ -1,0 +1,1 @@
+lib/congest/proto.ml: Array Gr List Network

@@ -1,0 +1,1 @@
+lib/congest/proto.mli: Gr Metrics

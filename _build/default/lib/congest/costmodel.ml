@@ -1,0 +1,97 @@
+type t = {
+  g : Gr.t;
+  bandwidth : int;
+  metrics : Metrics.t;
+  mutable clock : int;
+}
+
+let create ?bandwidth g metrics =
+  let bandwidth =
+    match bandwidth with Some b -> b | None -> Network.default_bandwidth g
+  in
+  { g; bandwidth; metrics; clock = 0 }
+
+let bandwidth t = t.bandwidth
+
+let word t =
+  let n = max 2 (Gr.n t.g) in
+  let rec bits_needed k acc = if k <= 1 then acc else bits_needed (k / 2) (acc + 1) in
+  bits_needed (n - 1) 1
+
+let clock t = t.clock
+let advance t r = t.clock <- t.clock + r
+let ceil_div a b = (a + b - 1) / b
+
+let charge_path t path ~bits =
+  match path with
+  | [] | [ _ ] -> ()
+  | first :: rest ->
+      let len = List.length rest in
+      let prev = ref first in
+      List.iter
+        (fun v ->
+          Metrics.add_edge_bits_by_index t.metrics
+            (Gr.edge_index t.g !prev v)
+            bits;
+          prev := v)
+        rest;
+      if bits > 0 then t.clock <- t.clock + len + ceil_div bits t.bandwidth - 1
+
+let tree_loads t ~root ~parent ~members ~bits_of ~combining =
+  (* Accumulate per-edge loads by walking each member to the root; with
+     [combining] a later walk does not re-add bits to an edge already
+     loaded (the fold combines). Returns (loads, depth). *)
+  let loads = Hashtbl.create 64 in
+  let depth = ref 0 in
+  List.iter
+    (fun v0 ->
+      let bits = bits_of v0 in
+      let d = ref 0 in
+      let v = ref v0 in
+      while !v <> root do
+        let p = parent !v in
+        if p = !v then invalid_arg "Costmodel: broken tree";
+        let e = Gr.edge_index t.g !v p in
+        let sofar = try Hashtbl.find loads e with Not_found -> 0 in
+        Hashtbl.replace loads e (if combining then max sofar bits else sofar + bits);
+        incr d;
+        v := p
+      done;
+      if !d > !depth then depth := !d)
+    members;
+  (loads, !depth)
+
+let charge_tree t ~root ~parent ~members ~bits_of =
+  let (loads, depth) = tree_loads t ~root ~parent ~members ~bits_of ~combining:false in
+  let max_load = Hashtbl.fold (fun _ l acc -> max l acc) loads 0 in
+  Hashtbl.iter (fun e l -> Metrics.add_edge_bits_by_index t.metrics e l) loads;
+  if max_load > 0 || depth > 0 then
+    t.clock <- t.clock + depth + ceil_div max_load t.bandwidth
+
+let charge_aggregate t ~root ~parent ~members ~bits =
+  let (loads, depth) =
+    tree_loads t ~root ~parent ~members ~bits_of:(fun _ -> bits) ~combining:true
+  in
+  Hashtbl.iter (fun e l -> Metrics.add_edge_bits_by_index t.metrics e l) loads;
+  if depth > 0 || bits > 0 then
+    t.clock <- t.clock + depth + max 0 (ceil_div bits t.bandwidth - 1)
+
+let note_edge_bits t e bits = Metrics.add_edge_bits_by_index t.metrics e bits
+
+let branch_max t branches =
+  let t0 = t.clock in
+  let finish =
+    List.fold_left
+      (fun acc f ->
+        t.clock <- t0;
+        f ();
+        max acc t.clock)
+      t0 branches
+  in
+  t.clock <- finish
+
+let phase t name f =
+  let r0 = t.clock in
+  let result = f () in
+  Metrics.phase t.metrics name (t.clock - r0);
+  result

@@ -1,0 +1,66 @@
+(** Exact cost accounting for driver-orchestrated phases.
+
+    The recursion of the embedding algorithm is orchestrated by a driver
+    (the usual way to present a synchronous algorithm as globally scheduled
+    phases). Each phase's communication is charged here, on the {e actual}
+    trees, paths and payload sizes of the run, under the per-edge
+    bandwidth [B]:
+
+    - routing [s] bits along a path of [ℓ] edges, pipelined in
+      [B]-bit chunks, takes [ℓ + ⌈s/B⌉ - 1] rounds;
+    - a tree aggregation (or broadcast) where member [v] contributes
+      [bits_of v] takes [depth + ⌈L/B⌉] rounds, where [L] is the heaviest
+      per-edge load it induces (each member's payload loads every tree edge
+      between it and the root) — the standard pipelining bound;
+    - phases on vertex-disjoint parts run in parallel: {!branch_max}
+      advances the clock by the maximum branch duration, which is how the
+      paper's "recurse on all parts in parallel" is charged.
+
+    All charged bits also land in the per-edge tallies of the underlying
+    {!Metrics.t}, so congestion (experiment E7) reflects these phases
+    too. *)
+
+type t
+
+val create : ?bandwidth:int -> Gr.t -> Metrics.t -> t
+(** The metrics object receives every charge. Default bandwidth:
+    {!Network.default_bandwidth}. *)
+
+val bandwidth : t -> int
+val word : t -> int
+(** Bits of one vertex id: [⌈log2 n⌉]. *)
+
+val clock : t -> int
+(** Rounds elapsed so far in charged phases. *)
+
+val advance : t -> int -> unit
+(** Add a fixed number of rounds (e.g. [O(1)]-round local steps). *)
+
+val charge_path : t -> int list -> bits:int -> unit
+(** Route [bits] along the vertex path (consecutive vertices must be
+    adjacent in the graph). A path of one vertex charges nothing. *)
+
+val charge_tree : t -> root:int -> parent:(int -> int) -> members:int list -> bits_of:(int -> int) -> unit
+(** Gather/scatter of {e distinct} payloads between [root] and [members]
+    over the tree given by [parent]: member [v]'s [bits_of v] loads every
+    tree edge between [v] and the root. Covers both directions — the
+    formula is symmetric. *)
+
+val charge_aggregate : t -> root:int -> parent:(int -> int) -> members:int list -> bits:int -> unit
+(** Combining aggregation (convergecast of a fold, or a broadcast of one
+    value): every tree edge on a member-root path carries [bits] once;
+    takes [depth + ⌈bits/B⌉ - 1] rounds (pipelined in chunks). *)
+
+val note_edge_bits : t -> int -> int -> unit
+(** [note_edge_bits t e bits] adds [bits] to the per-edge tally of the
+    edge with dense index [e] without advancing the clock — for callers
+    that schedule several concurrent shipments and account rounds
+    themselves (e.g. the restricted path-coordinated merge). *)
+
+val branch_max : t -> (unit -> unit) list -> unit
+(** Run the branch thunks as parallel phases: each starts at the current
+    clock; afterwards the clock is the maximum branch end. Edge-bit charges
+    accumulate normally (branches are expected to touch disjoint edges). *)
+
+val phase : t -> string -> (unit -> 'a) -> 'a
+(** Label the rounds consumed by the thunk in the metrics' phase table. *)

@@ -1,0 +1,53 @@
+type t = {
+  g : Gr.t;
+  mutable rounds : int;
+  mutable messages : int;
+  mutable total_bits : int;
+  edge_bits : int array;
+  mutable phases : (string * int) list;
+}
+
+let create g =
+  {
+    g;
+    rounds = 0;
+    messages = 0;
+    total_bits = 0;
+    edge_bits = Array.make (max 1 (Gr.m g)) 0;
+    phases = [];
+  }
+
+let graph t = t.g
+let rounds t = t.rounds
+let messages t = t.messages
+let total_bits t = t.total_bits
+let max_edge_bits t = if Gr.m t.g = 0 then 0 else Array.fold_left max 0 t.edge_bits
+let edge_bits t i = t.edge_bits.(i)
+let add_rounds t r = t.rounds <- t.rounds + r
+
+let add_edge_bits_by_index t i bits =
+  t.edge_bits.(i) <- t.edge_bits.(i) + bits;
+  t.total_bits <- t.total_bits + bits
+
+let add_message t ~u ~v ~bits =
+  t.messages <- t.messages + 1;
+  add_edge_bits_by_index t (Gr.edge_index t.g u v) bits
+
+let phase t name r = t.phases <- (name, r) :: t.phases
+let phases t = List.rev t.phases
+
+let merge_into ~dst ~src =
+  if Gr.n dst.g <> Gr.n src.g || Gr.m dst.g <> Gr.m src.g then
+    invalid_arg "Metrics.merge_into: different graphs";
+  dst.rounds <- dst.rounds + src.rounds;
+  dst.messages <- dst.messages + src.messages;
+  Array.iteri (fun i b -> add_edge_bits_by_index dst i b) src.edge_bits;
+  dst.phases <- List.rev_append (List.rev src.phases) dst.phases
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>rounds=%d messages=%d total_bits=%d max_edge_bits=%d" t.rounds
+    t.messages t.total_bits (max_edge_bits t);
+  List.iter (fun (name, r) -> Format.fprintf ppf "@   %-28s %6d rounds" name r)
+    (phases t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,44 @@
+(** Communication metrics of a CONGEST execution (real or cost-charged):
+    rounds, message count, total bits, and per-edge bit loads.
+
+    The per-edge tallies are the data behind experiment E7 ("no pair of
+    adjacent nodes needs to exchange more than [Õ(D)] bits", Section 1.2 of
+    the paper). *)
+
+type t
+
+val create : Gr.t -> t
+
+val graph : t -> Gr.t
+val rounds : t -> int
+val messages : t -> int
+val total_bits : t -> int
+
+val max_edge_bits : t -> int
+(** The largest number of bits exchanged over any single edge. *)
+
+val edge_bits : t -> int -> int
+(** Bits exchanged over the edge with the given dense index. *)
+
+val add_rounds : t -> int -> unit
+val add_message : t -> u:int -> v:int -> bits:int -> unit
+(** Record one message of [bits] bits over edge [{u, v}].
+    @raise Not_found if the edge does not exist. *)
+
+val add_edge_bits_by_index : t -> int -> int -> unit
+(** Low-level variant used by the cost model. *)
+
+val phase : t -> string -> int -> unit
+(** Record that a named phase consumed the given number of rounds (the
+    rounds themselves must be added separately via {!add_rounds} — phases
+    are an annotation for reporting). *)
+
+val phases : t -> (string * int) list
+(** Accumulated per-phase rounds, in execution order. *)
+
+val merge_into : dst:t -> src:t -> unit
+(** Fold [src]'s counters into [dst] (same underlying graph required):
+    rounds add up, edge loads add up. Used to combine the real simulator
+    runs of phase 1 with the cost-charged recursion phases. *)
+
+val pp : Format.formatter -> t -> unit

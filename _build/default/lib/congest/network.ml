@@ -1,0 +1,77 @@
+type ('s, 'm) protocol = {
+  init : Gr.t -> int -> 's * (int * 'm) list;
+  round : Gr.t -> int -> 's -> (int * 'm) list -> 's * (int * 'm) list;
+  msg_bits : 'm -> int;
+}
+
+exception Bandwidth_exceeded of { round : int; u : int; v : int; bits : int }
+
+let default_bandwidth g =
+  let n = max 2 (Gr.n g) in
+  let rec bits_needed k acc = if k <= 1 then acc else bits_needed (k / 2) (acc + 1) in
+  16 * bits_needed (n - 1) 1
+
+let run ?bandwidth ?max_rounds ?metrics g proto =
+  let n = Gr.n g in
+  let bandwidth = match bandwidth with Some b -> b | None -> default_bandwidth g in
+  let max_rounds = match max_rounds with Some r -> r | None -> (16 * n) + 64 in
+  let inits = Array.init n (fun v -> proto.init g v) in
+  let states = Array.map fst inits in
+  let outboxes = Array.map snd inits in
+  let record_message round u v msg =
+    if not (Gr.mem_edge g u v) then
+      invalid_arg
+        (Printf.sprintf "Network.run: node %d sent to non-neighbor %d" u v);
+    let bits = proto.msg_bits msg in
+    (match metrics with
+    | Some m -> Metrics.add_message m ~u ~v ~bits
+    | None -> ());
+    ignore round;
+    bits
+  in
+  let check_budgets round outs =
+    (* Per directed edge, per round: total bits must fit the budget. *)
+    let per_edge = Hashtbl.create 64 in
+    Array.iteri
+      (fun u out ->
+        List.iter
+          (fun (v, msg) ->
+            let bits = record_message round u v msg in
+            let key = (u, v) in
+            let sofar = try Hashtbl.find per_edge key with Not_found -> 0 in
+            let now = sofar + bits in
+            if now > bandwidth then
+              raise (Bandwidth_exceeded { round; u; v; bits = now });
+            Hashtbl.replace per_edge key now)
+          out)
+      outs
+  in
+  let round = ref 0 in
+  let some_sent = ref (Array.exists (fun out -> out <> []) outboxes) in
+  (* Round 0's spontaneous sends are checked and counted too. *)
+  if !some_sent then check_budgets 0 outboxes;
+  while !some_sent do
+    if !round >= max_rounds then
+      failwith "Network.run: no quiescence before max_rounds";
+    incr round;
+    (* Deliver: inbox of v = messages addressed to v last round. *)
+    let inboxes = Array.make n [] in
+    Array.iteri
+      (fun u out ->
+        List.iter (fun (v, msg) -> inboxes.(v) <- (u, msg) :: inboxes.(v)) out)
+      outboxes;
+    for v = 0 to n - 1 do
+      outboxes.(v) <- []
+    done;
+    for v = 0 to n - 1 do
+      if inboxes.(v) <> [] then begin
+        let (s, out) = proto.round g v states.(v) inboxes.(v) in
+        states.(v) <- s;
+        outboxes.(v) <- out
+      end
+    done;
+    some_sent := Array.exists (fun out -> out <> []) outboxes;
+    if !some_sent then check_budgets !round outboxes
+  done;
+  (match metrics with Some m -> Metrics.add_rounds m !round | None -> ());
+  states

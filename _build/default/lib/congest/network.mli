@@ -1,0 +1,44 @@
+(** Synchronous message-passing engine for the CONGEST model.
+
+    Execution proceeds in synchronous rounds. In each round every node
+    reads the messages delivered over its incident edges, updates its
+    state, and emits at most [bandwidth] bits per incident edge (the
+    CONGEST restriction: one [O(log n)]-bit message per edge per round).
+    Exceeding the budget raises {!Bandwidth_exceeded} — the simulator
+    enforces the model rather than silently queueing.
+
+    The engine runs until {e quiescence}: a round in which no node sends
+    any message. Nodes in a real deployment would detect termination with
+    standard echo techniques at the same asymptotic cost; the simulator
+    plays the global observer, which is the usual convention for measuring
+    round complexity. *)
+
+type ('s, 'm) protocol = {
+  init : Gr.t -> int -> 's * (int * 'm) list;
+      (** initial state and round-0 outbox of each node. A node knows only
+          its own id and its neighbor ids, as in the paper's input model. *)
+  round : Gr.t -> int -> 's -> (int * 'm) list -> 's * (int * 'm) list;
+      (** [round g v state inbox] processes the messages [(from, msg)]
+          delivered this round and returns the new state and outbox
+          [(to, msg)]. Destinations must be neighbors of [v]. *)
+  msg_bits : 'm -> int;
+}
+
+exception Bandwidth_exceeded of { round : int; u : int; v : int; bits : int }
+
+val default_bandwidth : Gr.t -> int
+(** [16 * ceil(log2 n)] bits — the [O(log n)] budget with an explicit
+    constant, recorded in every experiment output. *)
+
+val run :
+  ?bandwidth:int ->
+  ?max_rounds:int ->
+  ?metrics:Metrics.t ->
+  Gr.t ->
+  ('s, 'm) protocol ->
+  's array
+(** Run to quiescence and return the final states. Metrics (rounds,
+    messages, per-edge bits) accumulate into [metrics] when given.
+    @raise Bandwidth_exceeded when a node over-sends on an edge.
+    @raise Failure if [max_rounds] (default [16 * n + 64]) elapse without
+    quiescence — a livelock guard for buggy protocols. *)

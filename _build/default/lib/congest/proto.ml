@@ -1,0 +1,137 @@
+type bfs_state = { leader : int; dist : int; parent : int }
+
+let word_of g =
+  let n = max 2 (Gr.n g) in
+  let rec bits_needed k acc = if k <= 1 then acc else bits_needed (k / 2) (acc + 1) in
+  bits_needed (n - 1) 1
+
+let leader_bfs ?metrics ?bandwidth g =
+  if Gr.n g = 0 then invalid_arg "Proto.leader_bfs: empty network";
+  let word = word_of g in
+  let announce g v st =
+    Array.to_list
+      (Array.map (fun w -> (w, (st.leader, st.dist))) (Gr.neighbors g v))
+  in
+  let proto =
+    {
+      Network.init =
+        (fun g v ->
+          let st = { leader = v; dist = 0; parent = v } in
+          (st, announce g v st));
+      round =
+        (fun g v st inbox ->
+          let best = ref st in
+          List.iter
+            (fun (from, (root, d)) ->
+              let better =
+                root > !best.leader
+                || (root = !best.leader && d + 1 < !best.dist)
+              in
+              if better then best := { leader = root; dist = d + 1; parent = from })
+            inbox;
+          if !best = st then (st, []) else (!best, announce g v !best));
+      msg_bits = (fun (_root, _d) -> 2 * word);
+    }
+  in
+  Network.run ?metrics ?bandwidth g proto
+
+(* Convergecast over an explicitly given tree. Each node knows its child
+   count (in a real network, children identify themselves during the BFS
+   construction); leaves start, and a node fires the fold of its subtree
+   as soon as all children reported. *)
+type cc_state = { pending : int; acc : int; done_ : bool }
+
+let children_counts n parent root =
+  let cnt = Array.make n 0 in
+  Array.iteri
+    (fun v p -> if v <> root then cnt.(p) <- cnt.(p) + 1)
+    parent;
+  cnt
+
+let convergecast ?metrics ?bandwidth g ~parent ~root ~values ~op ~value_bits =
+  let n = Gr.n g in
+  if Array.length parent <> n || Array.length values <> n then
+    invalid_arg "Proto.convergecast: bad arrays";
+  let kids = children_counts n parent root in
+  let proto =
+    {
+      Network.init =
+        (fun _g v ->
+          let st = { pending = kids.(v); acc = values.(v); done_ = false } in
+          if st.pending = 0 && v <> root then
+            ({ st with done_ = true }, [ (parent.(v), st.acc) ])
+          else (st, []));
+      round =
+        (fun _g v st inbox ->
+          if st.done_ then (st, [])
+          else begin
+            let acc =
+              List.fold_left (fun acc (_from, x) -> op acc x) st.acc inbox
+            in
+            let pending = st.pending - List.length inbox in
+            let st = { pending; acc; done_ = false } in
+            if pending = 0 && v <> root then
+              ({ st with done_ = true }, [ (parent.(v), acc) ])
+            else (st, [])
+          end);
+      msg_bits = (fun _ -> value_bits);
+    }
+  in
+  let states = Network.run ?metrics ?bandwidth g proto in
+  states.(root).acc
+
+let subtree_sizes ?metrics ?bandwidth g ~parent ~root =
+  let n = Gr.n g in
+  if Array.length parent <> n then invalid_arg "Proto.subtree_sizes: bad parent";
+  let word = word_of g in
+  let kids = children_counts n parent root in
+  let proto =
+    {
+      Network.init =
+        (fun _g v ->
+          let st = { pending = kids.(v); acc = 1; done_ = false } in
+          if st.pending = 0 && v <> root then
+            ({ st with done_ = true }, [ (parent.(v), st.acc) ])
+          else (st, []));
+      round =
+        (fun _g v st inbox ->
+          if st.done_ then (st, [])
+          else begin
+            let acc =
+              List.fold_left (fun acc (_from, x) -> acc + x) st.acc inbox
+            in
+            let pending = st.pending - List.length inbox in
+            let st = { pending; acc; done_ = false } in
+            if pending = 0 && v <> root then
+              ({ st with done_ = true }, [ (parent.(v), acc) ])
+            else (st, [])
+          end);
+      msg_bits = (fun _ -> word);
+    }
+  in
+  let states = Network.run ?metrics ?bandwidth g proto in
+  Array.map (fun st -> st.acc) states
+
+let broadcast ?metrics ?bandwidth g ~parent ~root ~value ~value_bits =
+  let n = Gr.n g in
+  if Array.length parent <> n then invalid_arg "Proto.broadcast: bad parent";
+  let kids = Array.make n [] in
+  Array.iteri (fun v p -> if v <> root then kids.(p) <- v :: kids.(p)) parent;
+  let proto =
+    {
+      Network.init =
+        (fun _g v ->
+          if v = root then
+            (Some value, List.map (fun c -> (c, value)) kids.(v))
+          else (None, []));
+      round =
+        (fun _g v st inbox ->
+          match st, inbox with
+          | Some _, _ -> (st, [])
+          | None, (_, x) :: _ -> (Some x, List.map (fun c -> (c, x)) kids.(v))
+          | None, [] -> (st, []));
+      msg_bits = (fun _ -> value_bits);
+    }
+  in
+  let states = Network.run ?metrics ?bandwidth g proto in
+  Array.map (function Some x -> x | None -> invalid_arg "Proto.broadcast: unreached node") states

@@ -1,0 +1,55 @@
+(** Real message-passing protocols run on the {!Network} engine.
+
+    These implement the paper's "preliminaries" phase (Section 2): from
+    nothing but their own id and their neighbors' ids, the nodes elect the
+    maximum-id vertex as the root [s*], build a BFS tree rooted there, and
+    aggregate values (e.g. the node count [n]) over it. Each is checked
+    against its centralized counterpart in the test suite. *)
+
+type bfs_state = {
+  leader : int;  (** maximum id in the network. *)
+  dist : int;  (** hop distance to the leader. *)
+  parent : int;  (** BFS parent ([leader]'s parent is itself). *)
+}
+
+val leader_bfs : ?metrics:Metrics.t -> ?bandwidth:int -> Gr.t -> bfs_state array
+(** Flood the maximum id while relaxing distances: quiesces in [O(D)]
+    rounds with every node knowing the leader, its BFS distance and a BFS
+    parent. The network must be connected and non-empty. *)
+
+val convergecast :
+  ?metrics:Metrics.t ->
+  ?bandwidth:int ->
+  Gr.t ->
+  parent:int array ->
+  root:int ->
+  values:int array ->
+  op:(int -> int -> int) ->
+  value_bits:int ->
+  int
+(** Aggregate [values] with the associative-commutative [op] up the given
+    tree (leaves start; every node forwards the fold of its subtree):
+    returns the root's total after [depth] rounds. *)
+
+val subtree_sizes :
+  ?metrics:Metrics.t ->
+  ?bandwidth:int ->
+  Gr.t ->
+  parent:int array ->
+  root:int ->
+  int array
+(** Every node learns the size of its own subtree of the given tree (the
+    primitive behind the splitter search of Section 4): a convergecast in
+    which each node retains its accumulated count. Takes [depth] rounds. *)
+
+val broadcast :
+  ?metrics:Metrics.t ->
+  ?bandwidth:int ->
+  Gr.t ->
+  parent:int array ->
+  root:int ->
+  value:int ->
+  value_bits:int ->
+  int array
+(** Push [value] from the root down the tree; returns each node's received
+    copy. *)

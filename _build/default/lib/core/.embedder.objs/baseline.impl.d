@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Array Costmodel Dmp Gr List Metrics Network Part Proto Rotation Traverse

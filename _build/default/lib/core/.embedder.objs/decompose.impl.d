@@ -1,0 +1,1 @@
+lib/core/decompose.ml: Array Gr Hashtbl List Partition Stack Traverse

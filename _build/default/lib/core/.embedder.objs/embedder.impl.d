@@ -1,0 +1,1 @@
+lib/core/embedder.ml: Array Constrained Costmodel Decompose Gr Hashtbl List Merge Metrics Network Part Proto Rotation Schedule Traverse

@@ -1,0 +1,1 @@
+lib/core/embedder.mli: Gr Part Rotation

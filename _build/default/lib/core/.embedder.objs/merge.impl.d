@@ -1,0 +1,1 @@
+lib/core/merge.ml: Array Costmodel Gr Hashtbl List Part Partition Printf

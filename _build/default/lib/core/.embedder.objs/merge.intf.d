@@ -1,0 +1,1 @@
+lib/core/merge.mli: Costmodel Gr Hashtbl Part

@@ -1,0 +1,1 @@
+lib/core/mst.ml: Array Costmodel Gr Hashtbl List Metrics Network Part Proto Traverse Unionfind

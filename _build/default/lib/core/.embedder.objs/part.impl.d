@@ -1,0 +1,1 @@
+lib/core/part.ml: Array Bicon Constrained Gr Hashtbl List Printf Traverse

@@ -1,0 +1,1 @@
+lib/core/part.mli: Constrained Gr Hashtbl

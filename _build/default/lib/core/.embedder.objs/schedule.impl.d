@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Costmodel Gr Hashtbl List Merge Part Symmetry Unionfind

@@ -1,0 +1,1 @@
+lib/core/symmetry.ml: Array Gr List Seq

@@ -1,0 +1,79 @@
+type report = {
+  n : int;
+  m : int;
+  bandwidth : int;
+  leader : int;
+  bfs_depth : int;
+  rounds : int;
+  phases : (string * int) list;
+  total_bits : int;
+  max_edge_bits : int;
+}
+
+type outcome = { rotation : Rotation.t option; report : report }
+
+let run ?bandwidth g =
+  if Gr.n g = 0 then invalid_arg "Baseline.run: empty network";
+  if not (Traverse.is_connected g) then
+    invalid_arg "Baseline.run: the network must be connected";
+  let metrics = Metrics.create g in
+  let bandwidth =
+    match bandwidth with Some b -> b | None -> Network.default_bandwidth g
+  in
+  let r0 = Metrics.rounds metrics in
+  let states = Proto.leader_bfs ~metrics ~bandwidth g in
+  Metrics.phase metrics "leader-election+bfs" (Metrics.rounds metrics - r0);
+  let leader = states.(0).Proto.leader in
+  let parent = Array.map (fun s -> s.Proto.parent) states in
+  let cost = Costmodel.create ~bandwidth g metrics in
+  let word = Part.word g in
+  let members = List.init (Gr.n g) (fun v -> v) in
+  (* Upcast: every vertex ships its incident higher-neighbor edge list
+     (each edge reported exactly once, 2 ids per edge). *)
+  Costmodel.phase cost "gather-topology" (fun () ->
+      Costmodel.charge_tree cost ~root:leader
+        ~parent:(fun v -> parent.(v))
+        ~members
+        ~bits_of:(fun v ->
+          let higher =
+            Array.fold_left
+              (fun acc w -> if w > v then acc + 1 else acc)
+              0 (Gr.neighbors g v)
+          in
+          2 * word * higher));
+  (* The leader solves planarity locally (free computation in CONGEST). *)
+  let rotation =
+    match Dmp.embed g with
+    | Dmp.Planar r -> Some r
+    | Dmp.Nonplanar -> None
+  in
+  (* Downcast: each vertex receives its own rotation (deg(v) ids); on a
+     non-planar input the verdict alone is broadcast. *)
+  Costmodel.phase cost "scatter-rotations" (fun () ->
+      match rotation with
+      | Some _ ->
+          Costmodel.charge_tree cost ~root:leader
+            ~parent:(fun v -> parent.(v))
+            ~members
+            ~bits_of:(fun v -> word * Gr.degree g v)
+      | None ->
+          Costmodel.charge_aggregate cost ~root:leader
+            ~parent:(fun v -> parent.(v))
+            ~members ~bits:1);
+  Metrics.add_rounds metrics (Costmodel.clock cost);
+  {
+    rotation;
+    report =
+      {
+        n = Gr.n g;
+        m = Gr.m g;
+        bandwidth;
+        leader;
+        bfs_depth =
+          Array.fold_left (fun acc s -> max acc s.Proto.dist) 0 states;
+        rounds = Metrics.rounds metrics;
+        phases = Metrics.phases metrics;
+        total_bits = Metrics.total_bits metrics;
+        max_edge_bits = Metrics.max_edge_bits metrics;
+      };
+  }

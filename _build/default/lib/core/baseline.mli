@@ -1,0 +1,25 @@
+(** The trivial algorithm the paper's Theorem 1.1 is measured against
+    (its footnote 2): gather the whole topology at the leader over the BFS
+    tree, solve planarity locally, and push each node's rotation back down.
+
+    In the CONGEST model this costs [O(n + D)] rounds (the tree edges near
+    the root carry [Θ(m)] edge descriptions of [2·⌈log n⌉] bits each at
+    [B] bits per round, pipelined), which on planar graphs is [O(n)].
+    Experiments E1/E2 plot this against the recursive algorithm. *)
+
+type report = {
+  n : int;
+  m : int;
+  bandwidth : int;
+  leader : int;
+  bfs_depth : int;
+  rounds : int;
+  phases : (string * int) list;
+  total_bits : int;
+  max_edge_bits : int;
+}
+
+type outcome = { rotation : Rotation.t option; report : report }
+
+val run : ?bandwidth:int -> Gr.t -> outcome
+(** @raise Invalid_argument on an empty or disconnected network. *)

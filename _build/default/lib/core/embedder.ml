@@ -1,0 +1,142 @@
+type report = {
+  n : int;
+  m : int;
+  bandwidth : int;
+  leader : int;
+  bfs_depth : int;
+  rounds : int;
+  phases : (string * int) list;
+  total_bits : int;
+  max_edge_bits : int;
+  recursion_depth : int;
+  recursion_calls : int;
+  max_parts_at_restricted_merge : int;
+  merges_pairwise : int;
+  merges_star : int;
+  merges_vertex : int;
+  merges_path : int;
+  retired_parts : int;
+  safety_checks : int;
+  iface_bits_shipped : int;
+}
+
+type outcome = { rotation : Rotation.t option; report : report }
+
+(* Rebuild a Traverse.bfs_tree from the distributed election's per-node
+   results, so the decomposition works on the tree the nodes actually
+   agreed on. *)
+let tree_of_states g states =
+  let n = Gr.n g in
+  let root = states.(0).Proto.leader in
+  let parent = Array.make n (-1) in
+  let dist = Array.make n (-1) in
+  for v = 0 to n - 1 do
+    parent.(v) <- states.(v).Proto.parent;
+    dist.(v) <- states.(v).Proto.dist
+  done;
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare dist.(a) dist.(b)) order;
+  { Traverse.root; parent; dist; order }
+
+let branch_max_map cost f xs =
+  let out = ref [] in
+  Costmodel.branch_max cost
+    (List.map (fun x () -> out := (x, f x) :: !out) xs);
+  List.map (fun x -> List.assq x !out) xs
+
+let run ?bandwidth ?(mode = Part.Faithful) ?(checks = false) ?base_size g =
+  if Gr.n g = 0 then invalid_arg "Embedder.run: empty network";
+  if not (Traverse.is_connected g) then
+    invalid_arg "Embedder.run: the network must be connected";
+  let metrics = Metrics.create g in
+  let bandwidth =
+    match bandwidth with Some b -> b | None -> Network.default_bandwidth g
+  in
+  (* Phase 1 (real protocols): leader election + BFS tree, then computing
+     n over the tree — the paper's O(D) preliminaries (Section 2). *)
+  let r0 = Metrics.rounds metrics in
+  let states = Proto.leader_bfs ~metrics g ~bandwidth in
+  Metrics.phase metrics "leader-election+bfs" (Metrics.rounds metrics - r0);
+  let bt = tree_of_states g states in
+  let leader = bt.Traverse.root in
+  let word = Part.word g in
+  let r1 = Metrics.rounds metrics in
+  let n_counted =
+    if Gr.n g = 1 then 1
+    else
+      Proto.convergecast ~metrics g ~bandwidth ~parent:bt.Traverse.parent
+        ~root:leader
+        ~values:(Array.make (Gr.n g) 1)
+        ~op:( + ) ~value_bits:word
+  in
+  assert (n_counted = Gr.n g);
+  Metrics.phase metrics "count-n" (Metrics.rounds metrics - r1);
+  let cost = Costmodel.create ~bandwidth g metrics in
+  let st = Merge.create g ~mode ~checks ~cost in
+  let rec_tree = Decompose.recursion_tree ?base_size g bt in
+  let rotation =
+    try
+      let rec process call =
+        (* The decomposition bookkeeping of one call: subtree sizes
+           (convergecast), the splitter walk and the P0 numbering, all on
+           the subtree's own tree edges. *)
+        Costmodel.charge_aggregate cost ~root:call.Decompose.root
+          ~parent:(fun v -> bt.Traverse.parent.(v))
+          ~members:call.Decompose.vertices ~bits:word;
+        Costmodel.advance cost call.Decompose.subtree_depth;
+        match call.Decompose.hanging with
+        | [] -> Merge.fresh_part st call.Decompose.p0
+        | hanging ->
+            let in_sub = Hashtbl.create (List.length call.Decompose.vertices) in
+            List.iter
+              (fun v -> Hashtbl.replace in_sub v ())
+              call.Decompose.vertices;
+            let child_ids = branch_max_map cost process hanging in
+            let outcome =
+              Schedule.run st ~p0:call.Decompose.p0 ~hanging:child_ids
+                ~in_subtree:(Hashtbl.mem in_sub)
+            in
+            outcome.Schedule.final_part
+      in
+      let top = Costmodel.phase cost "recursive-embedding" (fun () -> process rec_tree) in
+      let final = Merge.part st top in
+      (* Extract the rotation every node now holds. In Economy mode the
+         final embedding is computed once here (the paper's nodes held it
+         all along; only this extraction is mode-dependent). *)
+      let emb =
+        match final.Part.emb with
+        | Some e -> e
+        | None -> (
+            match Constrained.embed g ~part:final.Part.vertices ~half:[] with
+            | Some e -> e
+            | None -> raise (Part.Nonplanar_detected "final embedding failed"))
+      in
+      Some (Constrained.rotation_of_full emb g)
+    with Part.Nonplanar_detected _ -> None
+  in
+  Metrics.add_rounds metrics (Costmodel.clock cost);
+  let s = st.Merge.stats in
+  let report =
+    {
+      n = Gr.n g;
+      m = Gr.m g;
+      bandwidth;
+      leader;
+      bfs_depth = Traverse.depth bt;
+      rounds = Metrics.rounds metrics;
+      phases = Metrics.phases metrics;
+      total_bits = Metrics.total_bits metrics;
+      max_edge_bits = Metrics.max_edge_bits metrics;
+      recursion_depth = Decompose.depth rec_tree;
+      recursion_calls = Decompose.count_calls rec_tree;
+      max_parts_at_restricted_merge = s.Merge.final_parts_max;
+      merges_pairwise = s.Merge.pairwise;
+      merges_star = s.Merge.star;
+      merges_vertex = s.Merge.vertex_coordinated;
+      merges_path = s.Merge.path_coordinated;
+      retired_parts = s.Merge.retired;
+      safety_checks = s.Merge.safety_checks;
+      iface_bits_shipped = s.Merge.iface_bits_shipped;
+    }
+  in
+  { rotation; report }

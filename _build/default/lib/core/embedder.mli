@@ -1,0 +1,55 @@
+(** The distributed planar embedding algorithm of Theorem 1.1 —
+    the repository's core entry point.
+
+    On a connected planar network with [n] nodes and diameter [D], the run
+    elects the maximum-id node and builds a BFS tree with real
+    message-passing protocols, decomposes the tree by the recursive
+    embedding order of Section 4, merges partial embeddings per Section 5,
+    and ends with every node holding the clockwise cyclic order of its
+    incident edges in one fixed planar drawing. Round complexity is
+    measured (real rounds for the protocol phases, the documented cost
+    model for the orchestrated phases) and is expected to scale as
+    [O(D·min{log n, D})]; the trivial baseline of {!Baseline} scales as
+    [O(n + D)].
+
+    Non-planar inputs are rejected: some partial embedding fails, which —
+    because the maintained partition is safe (Definition 3.1) — certifies
+    a forbidden minor. *)
+
+type report = {
+  n : int;
+  m : int;
+  bandwidth : int;  (** bits per edge per round. *)
+  leader : int;
+  bfs_depth : int;
+  rounds : int;  (** total simulated rounds. *)
+  phases : (string * int) list;
+  total_bits : int;
+  max_edge_bits : int;  (** E7: worst pairwise communication. *)
+  recursion_depth : int;
+  recursion_calls : int;
+  max_parts_at_restricted_merge : int;  (** E6. *)
+  merges_pairwise : int;
+  merges_star : int;
+  merges_vertex : int;
+  merges_path : int;
+  retired_parts : int;
+  safety_checks : int;  (** E8: validated merges (checks mode only). *)
+  iface_bits_shipped : int;
+}
+
+type outcome = {
+  rotation : Rotation.t option;  (** [None] iff the input is not planar. *)
+  report : report;
+}
+
+val run :
+  ?bandwidth:int ->
+  ?mode:Part.mode ->
+  ?checks:bool ->
+  ?base_size:int ->
+  Gr.t ->
+  outcome
+(** @raise Invalid_argument on an empty or disconnected network.
+    [mode] defaults to [Faithful]; [checks] (default off) validates every
+    merge against the safety invariants. *)

@@ -1,0 +1,111 @@
+type report = {
+  rounds : int;
+  phases : (string * int) list;
+  boruvka_phases : int;
+  total_bits : int;
+  max_edge_bits : int;
+}
+
+(* Weight with tie-breaking: distinct keys make the MST unique. *)
+let key g ~weight u v =
+  let (a, b) = Gr.normalize_edge u v in
+  (weight a b, Gr.edge_index g a b)
+
+let kruskal ~weight g =
+  let edges =
+    List.sort
+      (fun (u1, v1) (u2, v2) ->
+        compare (key g ~weight u1 v1) (key g ~weight u2 v2))
+      (Gr.edges g)
+  in
+  let uf = Unionfind.create (Gr.n g) in
+  List.filter (fun (u, v) -> Unionfind.union uf u v) edges
+
+let run ?bandwidth ~weight g =
+  if Gr.n g = 0 then invalid_arg "Mst.run: empty network";
+  if not (Traverse.is_connected g) then
+    invalid_arg "Mst.run: the network must be connected";
+  let n = Gr.n g in
+  let metrics = Metrics.create g in
+  let bandwidth =
+    match bandwidth with Some b -> b | None -> Network.default_bandwidth g
+  in
+  (* Preliminaries: real leader election + BFS (nodes learn n, ids). *)
+  let r0 = Metrics.rounds metrics in
+  let _states = Proto.leader_bfs ~metrics ~bandwidth g in
+  Metrics.phase metrics "leader-election+bfs" (Metrics.rounds metrics - r0);
+  let cost = Costmodel.create ~bandwidth g metrics in
+  let word = Part.word g in
+  let uf = Unionfind.create n in
+  let mst = ref [] in
+  let boruvka_phases = ref 0 in
+  Costmodel.phase cost "boruvka" (fun () ->
+      while Unionfind.count uf > 1 do
+        incr boruvka_phases;
+        if !boruvka_phases > 2 * n then failwith "Mst.run: no progress";
+        (* Fragment spanning trees: BFS over the MST edges chosen so far. *)
+        let forest = Gr.of_edges ~n !mst in
+        let frag_tree = Hashtbl.create 16 in
+        (* root vertex -> bfs tree of the forest *)
+        let groups = Unionfind.groups uf in
+        Hashtbl.iter
+          (fun root members ->
+            let _ = members in
+            Hashtbl.replace frag_tree root (Traverse.bfs forest root))
+          groups;
+        (* Every fragment finds its minimum-weight outgoing edge by a
+           convergecast over its fragment tree (each member contributes its
+           best incident outgoing edge: 3 words — the edge and its weight);
+           fragments work in parallel. *)
+        let mwoe = Hashtbl.create 16 in
+        Gr.iter_edges g (fun u v ->
+            if not (Unionfind.same uf u v) then begin
+              let k = key g ~weight u v in
+              let consider root =
+                match Hashtbl.find_opt mwoe root with
+                | Some (k', _) when k' <= k -> ()
+                | Some _ | None -> Hashtbl.replace mwoe root (k, (u, v))
+              in
+              consider (Unionfind.find uf u);
+              consider (Unionfind.find uf v)
+            end);
+        Costmodel.branch_max cost
+          (Hashtbl.fold
+             (fun root members acc ->
+               (fun () ->
+                 let bt = Hashtbl.find frag_tree root in
+                 Costmodel.charge_aggregate cost ~root
+                   ~parent:(fun v -> bt.Traverse.parent.(v))
+                   ~members ~bits:(3 * word))
+               :: acc)
+             groups []);
+        (* Merge along the chosen edges, then broadcast the new fragment
+           identities back down the (new) fragment trees. *)
+        let chosen = Hashtbl.fold (fun _ (_, e) acc -> e :: acc) mwoe [] in
+        List.iter
+          (fun (u, v) ->
+            if Unionfind.union uf u v then mst := Gr.normalize_edge u v :: !mst)
+          chosen;
+        let forest' = Gr.of_edges ~n !mst in
+        Costmodel.branch_max cost
+          (Hashtbl.fold
+             (fun root members acc ->
+               (fun () ->
+                 let bt = Traverse.bfs forest' root in
+                 Costmodel.charge_aggregate cost ~root
+                   ~parent:(fun v -> bt.Traverse.parent.(v))
+                   ~members ~bits:word)
+               :: acc)
+             (Unionfind.groups uf) [])
+      done);
+  Metrics.add_rounds metrics (Costmodel.clock cost);
+  let report =
+    {
+      rounds = Metrics.rounds metrics;
+      phases = Metrics.phases metrics;
+      boruvka_phases = !boruvka_phases;
+      total_bits = Metrics.total_bits metrics;
+      max_edge_bits = Metrics.max_edge_bits metrics;
+    }
+  in
+  (List.rev !mst, report)

@@ -1,0 +1,37 @@
+(** Distributed minimum spanning tree — the downstream consumer.
+
+    The whole point of the paper's embedding algorithm is the follow-up
+    work it enables: part II of the project ([GH16], cited in the paper)
+    computes MST and min-cut in planar networks in [Õ(D)] rounds, using
+    the planar embedding of part I as a black box to build low-congestion
+    shortcuts. This module provides the classic distributed MST the
+    program starts from — Borůvka/GHS-style fragment merging with honest
+    CONGEST cost accounting — so the repository demonstrates an actual
+    consumer of the embedding pipeline's substrate (simulator, cost model,
+    fragment machinery). The shortcut acceleration itself belongs to the
+    part II paper and is documented as out of scope in DESIGN.md.
+
+    Weights are made distinct by tie-breaking on edge ids (the standard
+    trick), so the MST is unique and testable against a centralized
+    Kruskal reference. *)
+
+type report = {
+  rounds : int;
+  phases : (string * int) list;
+  boruvka_phases : int;  (** ≤ log2 n. *)
+  total_bits : int;
+  max_edge_bits : int;
+}
+
+val run :
+  ?bandwidth:int ->
+  weight:(int -> int -> int) ->
+  Gr.t ->
+  Gr.edge list * report
+(** [run ~weight g] returns the MST edges (n-1 of them) of the connected
+    network [g] under [weight u v] (evaluated once per edge, symmetric by
+    normalization). @raise Invalid_argument on an empty or disconnected
+    network. *)
+
+val kruskal : weight:(int -> int -> int) -> Gr.t -> Gr.edge list
+(** Centralized reference with the same tie-breaking. *)

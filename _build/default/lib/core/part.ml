@@ -1,0 +1,114 @@
+type mode = Faithful | Economy
+
+type t = {
+  id : int;
+  vertices : int list;
+  leader : int;
+  tree_parent : (int, int) Hashtbl.t;
+  depth : int;
+  anchors : int list;
+  trivial : bool;
+  n_bicon : int;
+  half : (int * int) list;
+  emb : Constrained.t option;
+  iface_bits : int;
+}
+
+exception Nonplanar_detected of string
+
+let word g =
+  let n = max 2 (Gr.n g) in
+  let rec bits_needed k acc = if k <= 1 then acc else bits_needed (k / 2) (acc + 1) in
+  bits_needed (n - 1) 1
+
+(* Number of maximal runs in a cyclic sequence after classifying: the
+   number of class transitions around the cycle, at least one. *)
+let cyclic_runs classify = function
+  | [] -> 0
+  | [ _ ] -> 1
+  | l ->
+      let arr = Array.of_list (List.map classify l) in
+      let k = Array.length arr in
+      let transitions = ref 0 in
+      for i = 0 to k - 1 do
+        if arr.(i) <> arr.((i + 1) mod k) then incr transitions
+      done;
+      max 1 !transitions
+
+let create g ~mode ~classify ~half ~id ~vertices ~anchors =
+  let leader = List.fold_left max (List.hd vertices) vertices in
+  (* Spanning tree over the part plus its anchors (the "split-off copies"
+     of P0 coordinators), rooted at the leader. *)
+  let span_set = List.sort_uniq compare (anchors @ vertices) in
+  let (span_g, old_of_new, new_of_old) = Gr.induced g span_set in
+  let bfs = Traverse.bfs span_g (new_of_old leader) in
+  let tree_parent = Hashtbl.create (List.length span_set) in
+  List.iter
+    (fun v ->
+      let nv = new_of_old v in
+      if bfs.Traverse.dist.(nv) < 0 then
+        invalid_arg
+          (Printf.sprintf "Part.create: part %d is not connected (vertex %d)" id v);
+      Hashtbl.replace tree_parent v old_of_new.(bfs.Traverse.parent.(nv)))
+    span_set;
+  let depth = Traverse.depth bfs in
+  (* Structure of the induced subgraph proper (without anchors). *)
+  let (sub, _, _) = Gr.induced g vertices in
+  let trivial = Gr.m sub = List.length vertices - 1 in
+  let dec = Bicon.decompose sub in
+  let n_bicon = dec.Bicon.n_components in
+  let emb =
+    match mode with
+    | Economy -> None
+    | Faithful -> (
+        match Constrained.embed g ~part:vertices ~half with
+        | Some e -> Some e
+        | None ->
+            raise
+              (Nonplanar_detected
+                 (Printf.sprintf
+                    "part %d admits no embedding with its half-embedded \
+                     edges on one face"
+                    id)))
+  in
+  let w = word g in
+  let iface_bits =
+    (* Compressed interface: one (class, count) leaf per maximal run of
+       half-embedded edges with the same outside endpoint, plus 2 bits of
+       structure per biconnected component. In Economy mode the realized
+       outer order is unknown; the number of distinct outside endpoints is
+       the run-count estimate. *)
+    let runs =
+      match emb with
+      | Some e -> cyclic_runs (fun (_u, v) -> classify v) e.Constrained.outer
+      | None ->
+          List.length
+            (List.sort_uniq compare (List.map (fun (_u, v) -> classify v) half))
+    in
+    2 + (runs * (2 + (2 * w))) + (2 * n_bicon)
+  in
+  {
+    id;
+    vertices;
+    leader;
+    tree_parent;
+    depth;
+    anchors;
+    trivial;
+    n_bicon;
+    half;
+    emb;
+    iface_bits;
+  }
+
+let size t = List.length t.vertices
+let mem t v = Hashtbl.mem t.tree_parent v && not (List.mem v t.anchors)
+
+let path_to_leader t v =
+  let rec up v acc =
+    let p = Hashtbl.find t.tree_parent v in
+    if p = v then List.rev (v :: acc) else up p (v :: acc)
+  in
+  up v []
+
+let parent_fn t v = Hashtbl.find t.tree_parent v

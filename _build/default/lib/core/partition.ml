@@ -1,0 +1,59 @@
+let induces_connected g vs =
+  match vs with
+  | [] -> true
+  | _ ->
+      let (h, _, _) = Gr.induced g vs in
+      Traverse.is_connected h
+
+let is_trivial g vs =
+  let (h, _, _) = Gr.induced g vs in
+  Traverse.is_connected h && Gr.m h = Gr.n h - 1
+
+let complement_connected g vs =
+  let in_part = Hashtbl.create (List.length vs) in
+  List.iter (fun v -> Hashtbl.replace in_part v ()) vs;
+  let rest =
+    Gr.fold_vertices g ~init:[] ~f:(fun acc v ->
+        if Hashtbl.mem in_part v then acc else v :: acc)
+  in
+  induces_connected g rest
+
+let disjoint parts =
+  let seen = Hashtbl.create 64 in
+  List.for_all
+    (List.for_all (fun v ->
+         if Hashtbl.mem seen v then false
+         else begin
+           Hashtbl.replace seen v ();
+           true
+         end))
+    parts
+
+let is_safe g parts =
+  disjoint parts
+  && List.for_all (induces_connected g) parts
+  && List.for_all
+       (fun p -> is_trivial g p || complement_connected g p)
+       parts
+
+let half_edges g ~part_of id =
+  let out = ref [] in
+  Array.iteri
+    (fun v p ->
+      if p = id then
+        Array.iter
+          (fun w -> if part_of.(w) <> id then out := (v, w) :: !out)
+          (Gr.neighbors g v))
+    part_of;
+  List.rev !out
+
+let merge_is_safe g parts i j =
+  let arr = Array.of_list parts in
+  let k = Array.length arr in
+  if i < 0 || j < 0 || i >= k || j >= k || i = j then
+    invalid_arg "Partition.merge_is_safe: bad indices";
+  let merged = arr.(i) @ arr.(j) in
+  let rest =
+    List.filteri (fun idx _ -> idx <> i && idx <> j) parts
+  in
+  is_safe g (merged :: rest)

@@ -1,0 +1,30 @@
+(** The partition invariants of Section 3 and Section 5.1 of the paper, as
+    executable predicates.
+
+    These back the [checks] mode of the embedder (every merge it performs
+    is validated against them) and the E8 experiment. *)
+
+val induces_connected : Gr.t -> int list -> bool
+(** Every part must induce a connected subgraph. *)
+
+val is_trivial : Gr.t -> int list -> bool
+(** A part is trivial iff it induces a tree (so a trivial part has no
+    embedding freedom of its own). *)
+
+val complement_connected : Gr.t -> int list -> bool
+(** Is [G \ P] connected (vacuously true when the part covers [G])? *)
+
+val is_safe : Gr.t -> int list list -> bool
+(** Definition 3.1: all parts induce connected subgraphs, they partition a
+    subset of the vertices disjointly, and every {e non-trivial} part has a
+    connected complement. (Vertices outside all parts are treated as a
+    virtual final part, matching the algorithm's "rest of the graph".) *)
+
+val half_edges : Gr.t -> part_of:int array -> int -> (int * int) list
+(** The half-embedded edges of the part with the given id: edges with
+    exactly their [(inside, outside)] orientation, [inside] in the part.
+    [part_of] maps each vertex to its part id ([-1] for "no part yet"). *)
+
+val merge_is_safe : Gr.t -> int list list -> int -> int -> bool
+(** Definition 5.1: merging parts [i] and [j] of the given partition (by
+    index) yields again a safe partition. *)

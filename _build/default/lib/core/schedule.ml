@@ -1,0 +1,326 @@
+type outcome = {
+  final_part : int;
+  parts_at_restricted_merge : int;
+  retired_parts : int;
+}
+
+(* Classification of a part's current connections within one call:
+   which P0 positions it touches, which other alive parts, and whether it
+   has edges leaving the call's subtree (G \ H). *)
+type conn = { positions : int list; others : int list; gh : bool }
+
+let classify st ~p0_pos ~in_subtree id =
+  let half = Merge.half_of st id in
+  let pos = Hashtbl.create 4 and oth = Hashtbl.create 4 in
+  let gh = ref false in
+  List.iter
+    (fun (_u, v) ->
+      match Hashtbl.find_opt p0_pos v with
+      | Some i -> Hashtbl.replace pos i ()
+      | None ->
+          if not (in_subtree v) then gh := true
+          else begin
+            let q = st.Merge.part_of.(v) in
+            if q >= 0 then Hashtbl.replace oth q ()
+          end)
+    half;
+  {
+    positions = List.sort compare (Hashtbl.fold (fun i () acc -> i :: acc) pos []);
+    others = Hashtbl.fold (fun q () acc -> q :: acc) oth [];
+    gh = !gh;
+  }
+
+(* Combined pipelined shipping of several interface payloads, each along
+   its own path: the routes run concurrently, so the round cost is the
+   longest path plus the worst per-edge backlog, while the edge-bit tallies
+   are exact. *)
+let charge_concurrent st shipments =
+  let cost = st.Merge.cost in
+  let g = st.Merge.g in
+  let loads = Hashtbl.create 64 in
+  let longest = ref 0 in
+  List.iter
+    (fun (path, bits) ->
+      (match path with
+      | [] | [ _ ] -> ()
+      | first :: rest ->
+          let prev = ref first in
+          List.iter
+            (fun v ->
+              let e = Gr.edge_index g !prev v in
+              let sofar = try Hashtbl.find loads e with Not_found -> 0 in
+              Hashtbl.replace loads e (sofar + bits);
+              prev := v)
+            rest);
+      longest := max !longest (List.length path - 1))
+    shipments;
+  let max_load = Hashtbl.fold (fun _ l acc -> max l acc) loads 0 in
+  Hashtbl.iter (fun e l -> Costmodel.note_edge_bits cost e l) loads;
+  let b = Costmodel.bandwidth cost in
+  if !longest > 0 || max_load > 0 then
+    Costmodel.advance cost (!longest + ((max_load + b - 1) / b))
+
+let run st ~p0 ~hanging ~in_subtree =
+  let cost = st.Merge.cost in
+  let word = Part.word st.Merge.g in
+  st.Merge.stats.Merge.calls <- st.Merge.stats.Merge.calls + 1;
+  (* Step 0/1: create the trivial P0 part and number its vertices (the
+     numbering travels down the path). *)
+  let p0_part = Merge.fresh_part st p0 in
+  Costmodel.charge_path cost p0 ~bits:word;
+  let p0_pos = Hashtbl.create (List.length p0) in
+  List.iteri (fun i v -> Hashtbl.replace p0_pos v i) p0;
+  let p0_arr = Array.of_list p0 in
+  let alive = Hashtbl.create (List.length hanging) in
+  List.iter (fun id -> Hashtbl.replace alive id ()) hanging;
+  let retired = ref [] in
+  let retire id =
+    Hashtbl.remove alive id;
+    retired := id :: !retired;
+    st.Merge.stats.Merge.retired <- st.Merge.stats.Merge.retired + 1
+  in
+  let sidelined = Hashtbl.create 8 in
+  let alive_ids () = Hashtbl.fold (fun id () acc -> id :: acc) alive [] in
+  let max_depth ids =
+    List.fold_left (fun acc id -> max acc (Merge.part st id).Part.depth) 0 ids
+  in
+  (* Step 2: two functionally identical iterations. *)
+  for _iter = 1 to 2 do
+    let participants =
+      List.filter (fun id -> not (Hashtbl.mem sidelined id)) (alive_ids ())
+    in
+    if participants <> [] then begin
+      (* (a) lowest P0-connection of each part: one aggregation per part,
+         all parts in parallel. *)
+      Costmodel.branch_max cost
+        (List.map
+           (fun id () ->
+             let p = Merge.part st id in
+             Costmodel.charge_aggregate cost ~root:p.Part.leader
+               ~parent:(Part.parent_fn p) ~members:p.Part.vertices ~bits:word)
+           participants);
+      let low = Hashtbl.create 16 in
+      List.iter
+        (fun id ->
+          match (classify st ~p0_pos ~in_subtree id).positions with
+          | i :: _ -> Hashtbl.replace low id i
+          | [] ->
+              (* A hanging part always touches P0 through its tree edge. *)
+              invalid_arg "Schedule.run: hanging part without P0 connection")
+        participants;
+      (* (b) vertex-coordinated merges of same-color connected clusters. *)
+      let by_color = Hashtbl.create 16 in
+      List.iter
+        (fun id ->
+          let c = Hashtbl.find low id in
+          let prev = try Hashtbl.find by_color c with Not_found -> [] in
+          Hashtbl.replace by_color c (id :: prev))
+        participants;
+      let merged_now = ref [] in
+      let cluster_jobs = ref [] in
+      Hashtbl.iter
+        (fun color ids ->
+          match ids with
+          | [] | [ _ ] -> ()
+          | _ ->
+              (* Connected clusters among the same-color parts. *)
+              let arr = Array.of_list ids in
+              let index = Hashtbl.create 8 in
+              Array.iteri (fun i id -> Hashtbl.replace index id i) arr;
+              let uf = Unionfind.create (Array.length arr) in
+              Array.iteri
+                (fun i id ->
+                  List.iter
+                    (fun q ->
+                      match Hashtbl.find_opt index q with
+                      | Some j -> ignore (Unionfind.union uf i j)
+                      | None -> ())
+                    (Merge.adjacent_parts st id))
+                arr;
+              let clusters = Unionfind.groups uf in
+              Hashtbl.iter
+                (fun _rep members ->
+                  if List.length members >= 2 then begin
+                    let ids = List.map (fun i -> arr.(i)) members in
+                    let coord = p0_arr.(color) in
+                    cluster_jobs := (color, coord, ids) :: !cluster_jobs
+                  end)
+                clusters)
+        by_color;
+      (* All clusters merge in parallel; inside a cluster the members ship
+         their interfaces to the shared coordinator concurrently. *)
+      Costmodel.branch_max cost
+        (List.map
+           (fun (_color, coord, ids) () ->
+             List.iter (fun id -> Merge.ship_to_vertex st ~from_part:id coord) ids)
+           !cluster_jobs);
+      List.iter
+        (fun (_color, coord, ids) ->
+          List.iter (fun id -> Hashtbl.remove alive id) ids;
+          let nid =
+            Merge.merge st ~anchors:[ coord ] ~kind:Merge.Vertex_coordinated ids
+          in
+          Hashtbl.replace alive nid ();
+          merged_now := nid :: !merged_now)
+        !cluster_jobs;
+      (* (c)/(d): retire parts whose only connection is one P0 vertex
+         (and possibly G \ H): they deliver their edge order to it. *)
+      List.iter
+        (fun id ->
+          if Hashtbl.mem alive id then begin
+            let c = classify st ~p0_pos ~in_subtree id in
+            match c.positions, c.others with
+            | [ i ], [] ->
+                Merge.ship_to_vertex st ~from_part:id p0_arr.(i);
+                retire id
+            | _ -> ()
+          end)
+        (alive_ids ());
+      (* (f) symmetry breaking on the inter-part graph, colored by low
+         connections (proper after the same-color merges). *)
+      let participants =
+        List.filter (fun id -> not (Hashtbl.mem sidelined id)) (alive_ids ())
+      in
+      if List.length participants >= 2 then begin
+        let arr = Array.of_list participants in
+        let index = Hashtbl.create 8 in
+        Array.iteri (fun i id -> Hashtbl.replace index id i) arr;
+        let edges = ref [] in
+        Array.iteri
+          (fun i id ->
+            List.iter
+              (fun q ->
+                match Hashtbl.find_opt index q with
+                | Some j when j > i -> edges := (i, j) :: !edges
+                | Some _ | None -> ())
+              (Merge.adjacent_parts st id))
+          arr;
+        let pg = Gr.of_edges ~n:(Array.length arr) !edges in
+        let colors =
+          Array.map
+            (fun id ->
+              match (classify st ~p0_pos ~in_subtree id).positions with
+              | i :: _ -> i
+              | [] -> invalid_arg "Schedule.run: part lost its P0 connection")
+            arr
+        in
+        Costmodel.advance cost
+          (Symmetry.part_level_rounds * (max_depth participants + 1));
+        let grouping = Symmetry.compute pg ~colors in
+        (* (g) star merges on the V-sets. *)
+        let do_group ids kind =
+          List.iter (fun id -> Hashtbl.remove alive id) ids;
+          let nid = Merge.merge st ~kind ids in
+          Hashtbl.replace alive nid ()
+        in
+        Costmodel.branch_max cost
+          (List.map
+             (fun (c, leaves) () ->
+               List.iter
+                 (fun l ->
+                   Merge.ship_between st ~from_part:arr.(l) ~to_part:arr.(c))
+                 leaves)
+             grouping.Symmetry.stars);
+        List.iter
+          (fun (c, leaves) ->
+            do_group (arr.(c) :: List.map (fun l -> arr.(l)) leaves) Merge.Star)
+          grouping.Symmetry.stars;
+        (* (h)/(i): two-node paths merge pairwise; longer paths sit the
+           next iteration out. *)
+        Costmodel.branch_max cost
+          (List.filter_map
+             (fun path ->
+               match path with
+               | [ a; b ] ->
+                   Some
+                     (fun () ->
+                       Merge.ship_between st ~from_part:arr.(b) ~to_part:arr.(a))
+               | _ -> None)
+             grouping.Symmetry.paths);
+        List.iter
+          (fun path ->
+            match path with
+            | [ a; b ] -> do_group [ arr.(a); arr.(b) ] Merge.Pairwise
+            | _ :: _ :: _ ->
+                List.iter
+                  (fun i -> Hashtbl.replace sidelined arr.(i) ())
+                  path
+            | _ -> ())
+          grouping.Symmetry.paths
+      end
+    end
+  done;
+  (* Steps 3-5: among parts connected to exactly two P0 vertices and
+     nothing else, the coordinator keeps only the highest id per vertex
+     pair; the rest deliver their orders and retire. *)
+  let by_pair = Hashtbl.create 8 in
+  List.iter
+    (fun id ->
+      let c = classify st ~p0_pos ~in_subtree id in
+      match c.positions, c.others, c.gh with
+      | [ i; j ], [], false ->
+          let prev = try Hashtbl.find by_pair (i, j) with Not_found -> [] in
+          Hashtbl.replace by_pair (i, j) (id :: prev)
+      | _ -> ())
+    (alive_ids ());
+  Hashtbl.iter
+    (fun (i, j) ids ->
+      match List.sort compare ids with
+      | [] -> ()
+      | sorted ->
+          let keep = List.nth sorted (List.length sorted - 1) in
+          List.iter
+            (fun id ->
+              if id <> keep then begin
+                Merge.ship_to_vertex st ~from_part:id p0_arr.(i);
+                Merge.ship_to_vertex st ~from_part:id p0_arr.(j);
+                retire id
+              end)
+            sorted)
+    by_pair;
+  (* Step 6: the restricted path-coordinated merge. Every surviving part
+     ships its interface to its lowest connection vertex and onward along
+     P0 to the splitter end; the shipments share the path's edges, which
+     is exactly where congestion is measured. *)
+  let survivors = alive_ids () in
+  let k = List.length survivors in
+  if k > st.Merge.stats.Merge.final_parts_max then
+    st.Merge.stats.Merge.final_parts_max <- k;
+  let shipments =
+    List.map
+      (fun id ->
+        let p = Merge.part st id in
+        let c = classify st ~p0_pos ~in_subtree id in
+        let i = match c.positions with i :: _ -> i | [] -> 0 in
+        (* Aggregate internally first. *)
+        Costmodel.charge_aggregate cost ~root:p.Part.leader
+          ~parent:(Part.parent_fn p) ~members:p.Part.vertices
+          ~bits:p.Part.iface_bits;
+        let u = ref p.Part.leader in
+        (try
+           List.iter
+             (fun v ->
+               if Gr.mem_edge st.Merge.g v p0_arr.(i) then begin
+                 u := v;
+                 raise Exit
+               end)
+             p.Part.vertices
+         with Exit -> ());
+        let down = List.rev (Part.path_to_leader p !u) in
+        (* Onward along P0 from position i to the splitter (the far end). *)
+        let along = Array.to_list (Array.sub p0_arr i (Array.length p0_arr - i)) in
+        (down @ along, p.Part.iface_bits))
+      survivors
+  in
+  charge_concurrent st shipments;
+  let everyone = (p0_part :: survivors) @ !retired in
+  let final_part =
+    match everyone with
+    | [ only ] -> only
+    | _ -> Merge.merge st ~kind:Merge.Path_coordinated everyone
+  in
+  {
+    final_part;
+    parts_at_restricted_merge = k;
+    retired_parts = List.length !retired;
+  }

@@ -1,0 +1,1 @@
+lib/graph/bicon.ml: Array Gr Hashtbl List Stack

@@ -1,0 +1,1 @@
+lib/graph/bicon.mli: Gr

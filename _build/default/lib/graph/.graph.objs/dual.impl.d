@@ -1,0 +1,1 @@
+lib/graph/dual.ml: Array Gr Hashtbl Lazy List Rotation Traverse

@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array Gr Hashtbl List Random Unionfind

@@ -1,0 +1,1 @@
+lib/graph/gr.ml: Array Format Hashtbl List Printf

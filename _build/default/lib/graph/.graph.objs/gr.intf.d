@@ -1,0 +1,1 @@
+lib/graph/gr.mli: Format

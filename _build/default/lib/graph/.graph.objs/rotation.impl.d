@@ -1,0 +1,1 @@
+lib/graph/rotation.ml: Array Format Gr Hashtbl List String Traverse

@@ -1,0 +1,1 @@
+lib/graph/rotation.mli: Format Gr

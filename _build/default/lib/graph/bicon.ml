@@ -1,0 +1,144 @@
+type t = {
+  n_components : int;
+  comp_of_edge : int array;
+  components : Gr.edge list array;
+  comps_of_vertex : int list array;
+  is_cut : bool array;
+}
+
+(* Iterative Tarjan lowpoint algorithm with an explicit edge stack. Each
+   DFS frame records the vertex, its DFS parent and the index of the next
+   neighbor to examine, so deep graphs never overflow the OCaml stack. *)
+let decompose g =
+  let n = Gr.n g in
+  let disc = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let is_cut = Array.make n false in
+  let comp_of_edge = Array.make (Gr.m g) (-1) in
+  let components = ref [] in
+  let n_components = ref 0 in
+  let time = ref 0 in
+  let edge_stack = Stack.create () in
+  let pop_component u w =
+    (* Pop edges down to and including (u, w); they form one component. *)
+    let comp = ref [] in
+    let continue = ref true in
+    while !continue do
+      let (a, b) = Stack.pop edge_stack in
+      comp := (a, b) :: !comp;
+      comp_of_edge.(Gr.edge_index g a b) <- !n_components;
+      if (a, b) = Gr.normalize_edge u w then continue := false
+    done;
+    components := !comp :: !components;
+    incr n_components
+  in
+  for start = 0 to n - 1 do
+    if disc.(start) < 0 then begin
+      let root_children = ref 0 in
+      (* Frame: (vertex, dfs parent, mutable next-neighbor index). *)
+      let frames = Stack.create () in
+      disc.(start) <- !time;
+      low.(start) <- !time;
+      incr time;
+      Stack.push (start, -1, ref 0) frames;
+      while not (Stack.is_empty frames) do
+        let (u, parent, next) = Stack.top frames in
+        let nbrs = Gr.neighbors g u in
+        if !next < Array.length nbrs then begin
+          let w = nbrs.(!next) in
+          incr next;
+          if disc.(w) < 0 then begin
+            Stack.push (Gr.normalize_edge u w) edge_stack;
+            if u = start then incr root_children;
+            disc.(w) <- !time;
+            low.(w) <- !time;
+            incr time;
+            Stack.push (w, u, ref 0) frames
+          end
+          else if w <> parent && disc.(w) < disc.(u) then begin
+            Stack.push (Gr.normalize_edge u w) edge_stack;
+            if disc.(w) < low.(u) then low.(u) <- disc.(w)
+          end
+        end
+        else begin
+          ignore (Stack.pop frames);
+          if parent >= 0 then begin
+            if low.(u) < low.(parent) then low.(parent) <- low.(u);
+            if low.(u) >= disc.(parent) then begin
+              if parent <> start then is_cut.(parent) <- true;
+              pop_component parent u
+            end
+          end
+        end
+      done;
+      if !root_children >= 2 then is_cut.(start) <- true
+    end
+  done;
+  let components = Array.of_list (List.rev !components) in
+  let comps_of_vertex = Array.make n [] in
+  Array.iteri
+    (fun c edges ->
+      let seen = Hashtbl.create 8 in
+      let touch v =
+        if not (Hashtbl.mem seen v) then begin
+          Hashtbl.replace seen v ();
+          comps_of_vertex.(v) <- c :: comps_of_vertex.(v)
+        end
+      in
+      List.iter
+        (fun (a, b) ->
+          touch a;
+          touch b)
+        edges)
+    components;
+  {
+    n_components = !n_components;
+    comp_of_edge;
+    components;
+    comps_of_vertex;
+    is_cut;
+  }
+
+let paper_component_id t c =
+  match List.sort compare t.components.(c) with
+  | [] -> invalid_arg "Bicon.paper_component_id: empty component"
+  | e :: _ -> e
+
+let component_vertices t c =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let touch v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.replace seen v ();
+      out := v :: !out
+    end
+  in
+  List.iter
+    (fun (a, b) ->
+      touch a;
+      touch b)
+    t.components.(c);
+  List.rev !out
+
+type block_cut_tree = {
+  block_node : int array;
+  cut_node : (int * int) list;
+  tree : Gr.t;
+}
+
+let block_cut_tree _g t =
+  let block_node = Array.init t.n_components (fun c -> c) in
+  let next = ref t.n_components in
+  let cut_node = ref [] in
+  let edges = ref [] in
+  Array.iteri
+    (fun v cut ->
+      if cut then begin
+        let node = !next in
+        incr next;
+        cut_node := (v, node) :: !cut_node;
+        List.iter (fun c -> edges := (node, block_node.(c)) :: !edges)
+          t.comps_of_vertex.(v)
+      end)
+    t.is_cut;
+  { block_node; cut_node = List.rev !cut_node; tree = Gr.of_edges ~n:!next !edges }

@@ -1,0 +1,37 @@
+(** Biconnected-component decomposition (Tarjan lowpoint algorithm).
+
+    Section 3 of the paper represents each part's embedding freedom by its
+    biconnected-component decomposition (Observation 3.2); this module is
+    that decomposition, in the paper's distributed representation: every
+    vertex knows the components it belongs to, every edge belongs to exactly
+    one component, and a vertex is a cut vertex iff it belongs to two or
+    more components. The implementation is iterative so that long paths
+    (e.g. subdivided-[K4] lower-bound graphs) do not overflow the stack. *)
+
+type t = {
+  n_components : int;
+  comp_of_edge : int array;  (** dense edge index (see {!Gr.edge_index}) to component id. *)
+  components : Gr.edge list array;  (** edges of each component. *)
+  comps_of_vertex : int list array;  (** component ids containing each vertex, duplicate-free. *)
+  is_cut : bool array;  (** cut (articulation) vertices. *)
+}
+
+val decompose : Gr.t -> t
+
+val paper_component_id : t -> int -> Gr.edge
+(** The paper's component ID: the smallest edge ID (normalized [(u, v)]
+    pair, compared lexicographically) among the component's edges. *)
+
+val component_vertices : t -> int -> int list
+(** Duplicate-free vertex set of a component. *)
+
+(** The block–cut tree: one node per biconnected component ("block") and one
+    per cut vertex, with an edge whenever the cut vertex lies in the block.
+    Figure 4(b) of the paper pictures exactly this tree for a part. *)
+type block_cut_tree = {
+  block_node : int array;  (** tree-node id of each component. *)
+  cut_node : (int * int) list;  (** [(vertex, tree-node id)] for each cut vertex. *)
+  tree : Gr.t;
+}
+
+val block_cut_tree : Gr.t -> t -> block_cut_tree

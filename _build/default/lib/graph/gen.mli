@@ -1,0 +1,87 @@
+(** Graph generators: the workload families for the tests, examples and the
+    experiment harness.
+
+    Deterministic given the [seed] argument. Planar families include the
+    paper's lower-bound construction ({!k4_subdivision}, its footnote 1) and
+    random maximal planar graphs with logarithmic diameter (the regime where
+    [O(D log n)] beats the trivial [O(n)] most clearly). *)
+
+(** {1 Deterministic families} *)
+
+val path : int -> Gr.t
+val cycle : int -> Gr.t
+val star : int -> Gr.t
+(** [star n] has center [0] and leaves [1 .. n-1]. *)
+
+val complete : int -> Gr.t
+val complete_bipartite : int -> int -> Gr.t
+val wheel : int -> Gr.t
+(** [wheel n] is a cycle on [n-1] vertices plus a hub adjacent to all;
+    [n >= 4]. *)
+
+val ladder : int -> Gr.t
+(** [ladder k]: two parallel [k]-vertex paths joined by rungs ([2k]
+    vertices); planar and biconnected for [k >= 2]. *)
+
+val fan : int -> Gr.t
+(** [fan n]: a path on [0 .. n-2] plus a hub [n-1] adjacent to every path
+    vertex; a maximal outerplanar graph. [n >= 2]. *)
+
+val grid : int -> int -> Gr.t
+(** [grid rows cols]: the planar [rows × cols] mesh; vertex [(r, c)] is
+    numbered [r * cols + c]. *)
+
+val triangular_grid : int -> int -> Gr.t
+(** [grid] plus one diagonal per cell — a planar triangulation-like mesh. *)
+
+val toroidal_grid : int -> int -> Gr.t
+(** Grid with wraparound in both dimensions: non-planar for sizes ≥ 3×3
+    (genus 1). A negative test family. *)
+
+val binary_tree : int -> Gr.t
+(** Complete-ish binary tree on [n] vertices (vertex [i]'s parent is
+    [(i-1)/2]). *)
+
+val k5 : unit -> Gr.t
+val k33 : unit -> Gr.t
+val petersen : unit -> Gr.t
+
+val k4_subdivision : int -> Gr.t
+(** [k4_subdivision seglen] replaces every edge of [K4] with a path of
+    [seglen] edges — the paper's [Ω(D)] lower-bound graph (footnote 1):
+    its diameter is [Θ(seglen)] and its four degree-3 vertices must output
+    mutually consistent clockwise orders. [seglen >= 1]. *)
+
+val subdivide : Gr.t -> int -> Gr.t
+(** [subdivide g k] replaces every edge with a path of [k] edges ([k >= 1];
+    [k = 1] is the identity). Subdivision preserves (non-)planarity. *)
+
+(** {1 Random families} *)
+
+val random_tree : seed:int -> int -> Gr.t
+(** Random recursive tree: vertex [i] attaches to a uniform earlier vertex. *)
+
+val random_maximal_planar : seed:int -> int -> Gr.t
+(** Random Apollonian triangulation on [n >= 3] vertices: [3n - 6] edges,
+    maximal planar, diameter [O(log n)] with high probability. *)
+
+val random_planar : seed:int -> n:int -> m:int -> Gr.t
+(** Connected random planar graph: a spanning tree of a random maximal
+    planar graph plus a random sample of its remaining edges, for any
+    [n - 1 <= m <= 3n - 6]. *)
+
+val random_outerplanar : seed:int -> n:int -> chord_prob:float -> Gr.t
+(** Cycle on [n >= 3] vertices plus a random non-crossing chord set (each
+    chord of a random polygon triangulation kept with probability
+    [chord_prob]); always outerplanar and biconnected. *)
+
+val random_graph : seed:int -> n:int -> m:int -> Gr.t
+(** Uniform-ish random simple graph with [m] distinct edges (not
+    necessarily connected or planar). *)
+
+val random_connected_graph : seed:int -> n:int -> m:int -> Gr.t
+(** Random spanning tree plus random extra edges; [m >= n - 1]. *)
+
+val random_permutation : seed:int -> int -> int array
+(** A uniformly random permutation of [0 .. n-1] (Fisher–Yates); used to
+    relabel graphs so tests don't depend on vertex numbering. *)

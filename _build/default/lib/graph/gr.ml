@@ -1,0 +1,113 @@
+type edge = int * int
+
+type t = {
+  n : int;
+  adj : int array array;
+  edge_list : edge array;
+  (* Maps a normalized edge to its dense index in [edge_list]. *)
+  edge_idx : (edge, int) Hashtbl.t;
+}
+
+let normalize_edge u v =
+  if u = v then invalid_arg "Gr.normalize_edge: self-loop";
+  if u < v then (u, v) else (v, u)
+
+let check_vertex n v =
+  if v < 0 || v >= n then
+    invalid_arg (Printf.sprintf "Gr: vertex %d out of range [0, %d)" v n)
+
+let of_edges ~n edges =
+  let seen = Hashtbl.create (List.length edges) in
+  let add (u, v) =
+    check_vertex n u;
+    check_vertex n v;
+    let e = normalize_edge u v in
+    if not (Hashtbl.mem seen e) then Hashtbl.replace seen e ()
+  in
+  List.iter add edges;
+  let edge_list = Hashtbl.fold (fun e () acc -> e :: acc) seen [] in
+  let edge_list = Array.of_list (List.sort compare edge_list) in
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edge_list;
+  let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
+  let fill = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      adj.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    edge_list;
+  Array.iter (fun a -> Array.sort compare a) adj;
+  let edge_idx = Hashtbl.create (Array.length edge_list) in
+  Array.iteri (fun i e -> Hashtbl.replace edge_idx e i) edge_list;
+  { n; adj; edge_list; edge_idx }
+
+let empty n = of_edges ~n []
+let n t = t.n
+let m t = Array.length t.edge_list
+let degree t v = Array.length t.adj.(v)
+let neighbors t v = t.adj.(v)
+let mem_edge t u v = u <> v && Hashtbl.mem t.edge_idx (normalize_edge u v)
+let edges t = Array.to_list t.edge_list
+let iter_edges t f = Array.iter (fun (u, v) -> f u v) t.edge_list
+
+let fold_vertices t ~init ~f =
+  let acc = ref init in
+  for v = 0 to t.n - 1 do
+    acc := f !acc v
+  done;
+  !acc
+
+let edge_index t u v = Hashtbl.find t.edge_idx (normalize_edge u v)
+let edge_of_index t i = t.edge_list.(i)
+
+let induced t vs =
+  let k = List.length vs in
+  let old_of_new = Array.of_list vs in
+  let new_idx = Hashtbl.create k in
+  Array.iteri
+    (fun i v ->
+      check_vertex t.n v;
+      if Hashtbl.mem new_idx v then invalid_arg "Gr.induced: duplicate vertex";
+      Hashtbl.replace new_idx v i)
+    old_of_new;
+  let sub_edges = ref [] in
+  Array.iteri
+    (fun i v ->
+      Array.iter
+        (fun w ->
+          match Hashtbl.find_opt new_idx w with
+          | Some j when i < j -> sub_edges := (i, j) :: !sub_edges
+          | Some _ | None -> ())
+        t.adj.(v))
+    old_of_new;
+  let h = of_edges ~n:k !sub_edges in
+  (h, old_of_new, fun v -> Hashtbl.find new_idx v)
+
+let add_edges t extra =
+  of_edges ~n:t.n (extra @ Array.to_list t.edge_list)
+
+let union_vertices t ~more extra =
+  of_edges ~n:(t.n + more) (extra @ Array.to_list t.edge_list)
+
+let relabel t perm =
+  if Array.length perm <> t.n then invalid_arg "Gr.relabel: bad permutation";
+  let seen = Array.make t.n false in
+  Array.iter
+    (fun p ->
+      check_vertex t.n p;
+      if seen.(p) then invalid_arg "Gr.relabel: not a permutation";
+      seen.(p) <- true)
+    perm;
+  of_edges ~n:t.n
+    (Array.to_list (Array.map (fun (u, v) -> (perm.(u), perm.(v))) t.edge_list))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>graph n=%d m=%d" t.n (m t);
+  iter_edges t (fun u v -> Format.fprintf ppf "@ %d -- %d" u v);
+  Format.fprintf ppf "@]"

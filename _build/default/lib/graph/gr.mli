@@ -1,0 +1,81 @@
+(** Undirected simple graphs on vertices [0 .. n-1].
+
+    This is the network substrate shared by all layers: the CONGEST
+    simulator runs on a [Gr.t], the centralized planarity algorithms take a
+    [Gr.t], and the distributed embedder's parts carry induced subgraphs.
+
+    Graphs are immutable after construction. Vertices double as the unique
+    node identifiers the CONGEST model assumes; [relabel] produces
+    id-permuted copies for tests that must not depend on labeling. *)
+
+type t
+
+type edge = int * int
+(** An undirected edge, normalized so that [fst e < snd e]. The paper's
+    edge-ID [(min id, max id)] (its footnote 5) is exactly this pair. *)
+
+val normalize_edge : int -> int -> edge
+(** [normalize_edge u v] is the normalized edge [{u, v}].
+    @raise Invalid_argument on a self-loop. *)
+
+(** {1 Construction} *)
+
+val of_edges : n:int -> (int * int) list -> t
+(** [of_edges ~n edges] builds the graph with [n] vertices and the given
+    edges. Duplicate edges are collapsed.
+    @raise Invalid_argument on self-loops or out-of-range endpoints. *)
+
+val empty : int -> t
+(** [empty n] is the edgeless graph on [n] vertices. *)
+
+(** {1 Basic accessors} *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val degree : t -> int -> int
+val neighbors : t -> int -> int array
+(** Neighbors of a vertex in increasing order. The returned array is owned
+    by the graph; callers must not mutate it. *)
+
+val mem_edge : t -> int -> int -> bool
+val edges : t -> edge list
+(** All edges, normalized, in lexicographic order. *)
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** Iterate over normalized edges. *)
+
+val fold_vertices : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+(** {1 Edge indexing} *)
+
+val edge_index : t -> int -> int -> int
+(** A dense index in [0 .. m-1] for an existing edge, independent of
+    endpoint order. @raise Not_found if the edge is absent. *)
+
+val edge_of_index : t -> int -> edge
+
+(** {1 Derived graphs} *)
+
+val induced : t -> int list -> t * int array * (int -> int)
+(** [induced g vs] is the subgraph induced by the (duplicate-free) vertex
+    list [vs], as [(h, old_of_new, new_of_old)]: vertex [i] of [h]
+    corresponds to [old_of_new.(i)] in [g], and [new_of_old v] maps a [g]
+    vertex to its [h] index (or raises [Not_found] if [v] is not in [vs]). *)
+
+val add_edges : t -> (int * int) list -> t
+(** A copy of the graph with the given extra edges (duplicates collapsed). *)
+
+val union_vertices : t -> more:int -> (int * int) list -> t
+(** [union_vertices g ~more extra] extends [g] with [more] fresh vertices
+    (numbered [n g .. n g + more - 1]) and the extra edges. Used by the
+    apex/stub construction of the constrained embedder. *)
+
+val relabel : t -> int array -> t
+(** [relabel g perm] renames vertex [v] to [perm.(v)]; [perm] must be a
+    permutation of [0 .. n-1]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,126 @@
+type t = {
+  g : Gr.t;
+  rot : int array array;
+  (* (v, u) -> neighbor following u in the cyclic order at v. *)
+  succ_tbl : (int * int, int) Hashtbl.t;
+}
+
+let make g rot =
+  let n = Gr.n g in
+  if Array.length rot <> n then invalid_arg "Rotation.make: wrong length";
+  let succ_tbl = Hashtbl.create (2 * Gr.m g) in
+  for v = 0 to n - 1 do
+    let nbrs = Gr.neighbors g v in
+    let r = rot.(v) in
+    if Array.length r <> Array.length nbrs then
+      invalid_arg "Rotation.make: rotation size mismatch";
+    let expected = Hashtbl.create (Array.length nbrs) in
+    Array.iter (fun u -> Hashtbl.replace expected u ()) nbrs;
+    Array.iteri
+      (fun i u ->
+        if not (Hashtbl.mem expected u) then
+          invalid_arg "Rotation.make: rotation is not a permutation of neighbors";
+        Hashtbl.remove expected u;
+        let next = r.((i + 1) mod Array.length r) in
+        Hashtbl.replace succ_tbl (v, u) next)
+      r;
+    if Hashtbl.length expected <> 0 then
+      invalid_arg "Rotation.make: rotation is not a permutation of neighbors"
+  done;
+  { g; rot = Array.map Array.copy rot; succ_tbl }
+
+let rotation t v = t.rot.(v)
+let graph t = t.g
+let succ t v u = Hashtbl.find t.succ_tbl (v, u)
+
+let mirror t =
+  make t.g
+    (Array.map
+       (fun r -> Array.of_list (List.rev (Array.to_list r)))
+       t.rot)
+
+let of_sorted_adjacency g =
+  make g (Array.init (Gr.n g) (fun v -> Array.copy (Gr.neighbors g v)))
+
+(* Darts are numbered 2*e and 2*e+1 for edge index e = (u, v) normalized:
+   2*e is u->v, 2*e+1 is v->u. *)
+let dart_id t (u, v) =
+  let e = Gr.edge_index t.g u v in
+  if u < v then 2 * e else (2 * e) + 1
+
+let dart_of_id t d =
+  let (u, v) = Gr.edge_of_index t.g (d / 2) in
+  if d land 1 = 0 then (u, v) else (v, u)
+
+let next_dart t (u, v) = (v, succ t v u)
+
+let faces t =
+  let m = Gr.m t.g in
+  let seen = Array.make (2 * m) false in
+  let out = ref [] in
+  for d = 0 to (2 * m) - 1 do
+    if not seen.(d) then begin
+      let face = ref [] in
+      let cur = ref d in
+      let continue = ref true in
+      while !continue do
+        seen.(!cur) <- true;
+        let dart = dart_of_id t !cur in
+        face := dart :: !face;
+        let nxt = dart_id t (next_dart t dart) in
+        if nxt = d then continue := false else cur := nxt
+      done;
+      out := List.rev !face :: !out
+    end
+  done;
+  List.rev !out
+
+let face_count t = List.length (faces t)
+
+let genus t =
+  (* Euler's formula per connected component: n_c - m_c + f_c = 2 - 2 g_c,
+     where isolated vertices form components with one face each. *)
+  let comps = Traverse.components t.g in
+  let comp_of = Array.make (Gr.n t.g) (-1) in
+  List.iteri (fun i vs -> List.iter (fun v -> comp_of.(v) <- i) vs) comps;
+  let k = List.length comps in
+  let nv = Array.make k 0 and ne = Array.make k 0 and nf = Array.make k 0 in
+  List.iteri (fun i vs -> nv.(i) <- List.length vs) comps;
+  Gr.iter_edges t.g (fun u _v -> ne.(comp_of.(u)) <- ne.(comp_of.(u)) + 1);
+  List.iter
+    (fun face ->
+      match face with
+      | (u, _) :: _ -> nf.(comp_of.(u)) <- nf.(comp_of.(u)) + 1
+      | [] -> ())
+    (faces t);
+  let total = ref 0 in
+  for i = 0 to k - 1 do
+    let f = if ne.(i) = 0 then 1 else nf.(i) in
+    let chi = nv.(i) - ne.(i) + f in
+    let two_g = 2 - chi in
+    assert (two_g >= 0 && two_g mod 2 = 0);
+    total := !total + (two_g / 2)
+  done;
+  !total
+
+let is_planar_embedding t = genus t = 0
+
+let face_of_dart t (u, v) =
+  if not (Gr.mem_edge t.g u v) then
+    invalid_arg "Rotation.face_of_dart: not an edge";
+  let start = (u, v) in
+  let rec go cur acc =
+    let nxt = next_dart t cur in
+    if nxt = start then List.rev (cur :: acc) else go nxt (cur :: acc)
+  in
+  go start []
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>rotation system (n=%d, m=%d, f=%d, genus=%d)"
+    (Gr.n t.g) (Gr.m t.g) (face_count t) (genus t);
+  Array.iteri
+    (fun v r ->
+      Format.fprintf ppf "@ %d: (%s)" v
+        (String.concat " " (List.map string_of_int (Array.to_list r))))
+    t.rot;
+  Format.fprintf ppf "@]"

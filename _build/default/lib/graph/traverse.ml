@@ -1,0 +1,128 @@
+type bfs_tree = {
+  root : int;
+  parent : int array;
+  dist : int array;
+  order : int array;
+}
+
+let bfs g root =
+  let n = Gr.n g in
+  let parent = Array.make n (-1) in
+  let dist = Array.make n (-1) in
+  let order = Array.make n (-1) in
+  let queue = Queue.create () in
+  parent.(root) <- root;
+  dist.(root) <- 0;
+  Queue.add root queue;
+  let filled = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order.(!filled) <- v;
+    incr filled;
+    Array.iter
+      (fun w ->
+        if dist.(w) < 0 then begin
+          dist.(w) <- dist.(v) + 1;
+          parent.(w) <- v;
+          Queue.add w queue
+        end)
+      (Gr.neighbors g v)
+  done;
+  let order = Array.sub order 0 !filled in
+  { root; parent; dist; order }
+
+let children t =
+  let n = Array.length t.parent in
+  let kids = Array.make n [] in
+  for v = n - 1 downto 0 do
+    if v <> t.root && t.parent.(v) >= 0 then
+      kids.(t.parent.(v)) <- v :: kids.(t.parent.(v))
+  done;
+  kids
+
+let depth t = Array.fold_left max 0 t.dist
+
+let subtree_sizes _g t =
+  let n = Array.length t.parent in
+  let size = Array.make n 0 in
+  (* Visit in reverse BFS order: children before parents. *)
+  for i = Array.length t.order - 1 downto 0 do
+    let v = t.order.(i) in
+    size.(v) <- size.(v) + 1;
+    if v <> t.root then size.(t.parent.(v)) <- size.(t.parent.(v)) + size.(v)
+  done;
+  size
+
+let distances g source = (bfs g source).dist
+
+let is_connected g =
+  Gr.n g = 0 || Array.length (bfs g 0).order = Gr.n g
+
+let components g =
+  let n = Gr.n g in
+  let seen = Array.make n false in
+  let comps = ref [] in
+  for v = 0 to n - 1 do
+    if not seen.(v) then begin
+      let t = bfs g v in
+      let comp = Array.to_list t.order in
+      List.iter (fun w -> seen.(w) <- true) comp;
+      comps := comp :: !comps
+    end
+  done;
+  List.rev !comps
+
+let eccentricity g v =
+  let d = distances g v in
+  Array.fold_left
+    (fun acc x ->
+      if x < 0 then invalid_arg "Traverse.eccentricity: disconnected graph"
+      else max acc x)
+    0 d
+
+let diameter g =
+  if not (is_connected g) then invalid_arg "Traverse.diameter: disconnected graph";
+  Gr.fold_vertices g ~init:0 ~f:(fun acc v -> max acc (eccentricity g v))
+
+type dfs_tree = {
+  dfs_root : int;
+  dfs_parent : int array;
+  preorder : int array;
+  pre_index : int array;
+}
+
+let dfs g root =
+  let n = Gr.n g in
+  let dfs_parent = Array.make n (-1) in
+  let pre_index = Array.make n (-1) in
+  let preorder = Array.make n (-1) in
+  let filled = ref 0 in
+  let visit v parent =
+    dfs_parent.(v) <- parent;
+    pre_index.(v) <- !filled;
+    preorder.(!filled) <- v;
+    incr filled
+  in
+  visit root root;
+  let stack = Stack.create () in
+  Stack.push (root, ref 0) stack;
+  while not (Stack.is_empty stack) do
+    let (v, next) = Stack.top stack in
+    let nbrs = Gr.neighbors g v in
+    if !next < Array.length nbrs then begin
+      let w = nbrs.(!next) in
+      incr next;
+      if pre_index.(w) < 0 then begin
+        visit w v;
+        Stack.push (w, ref 0) stack
+      end
+    end
+    else ignore (Stack.pop stack)
+  done;
+  { dfs_root = root; dfs_parent; preorder = Array.sub preorder 0 !filled; pre_index }
+
+let tree_path t v =
+  if v < 0 || v >= Array.length t.parent || t.dist.(v) < 0 then
+    invalid_arg "Traverse.tree_path: vertex not reached";
+  let rec up v acc = if v = t.root then v :: acc else up t.parent.(v) (v :: acc) in
+  up v []

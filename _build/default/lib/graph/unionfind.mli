@@ -1,0 +1,26 @@
+(** Disjoint-set (union–find) structure over integers [0 .. n-1].
+
+    Uses path compression and union by rank; amortized near-constant time
+    per operation. Used by graph generators, connectivity checks and the
+    embedder's merge scheduling. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a fresh structure with singletons [{0}, ..., {n-1}]. *)
+
+val find : t -> int -> int
+(** [find t x] is the canonical representative of [x]'s set. *)
+
+val union : t -> int -> int -> bool
+(** [union t x y] merges the sets of [x] and [y]. Returns [true] if the two
+    were in distinct sets (i.e. a merge actually happened). *)
+
+val same : t -> int -> int -> bool
+(** [same t x y] is [true] iff [x] and [y] are in the same set. *)
+
+val count : t -> int
+(** Number of distinct sets currently in the structure. *)
+
+val groups : t -> (int, int list) Hashtbl.t
+(** [groups t] maps each representative to the members of its set. *)

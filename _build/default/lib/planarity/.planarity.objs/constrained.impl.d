@@ -1,0 +1,1 @@
+lib/planarity/constrained.ml: Array Dmp Gr Hashtbl List Rotation

@@ -1,0 +1,1 @@
+lib/planarity/constrained.mli: Gr Hashtbl Rotation

@@ -1,0 +1,1 @@
+lib/planarity/dmp.ml: Array Bicon Gr Hashtbl List Queue Rotation Stack

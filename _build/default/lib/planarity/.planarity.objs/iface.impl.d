@@ -1,0 +1,1 @@
+lib/planarity/iface.ml: Array Bicon Dmp Gr Hashtbl List Pqtree Rotation

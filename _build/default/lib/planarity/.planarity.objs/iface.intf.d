@@ -1,0 +1,1 @@
+lib/planarity/iface.mli: Gr Pqtree

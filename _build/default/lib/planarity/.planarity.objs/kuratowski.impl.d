@@ -1,0 +1,1 @@
+lib/planarity/kuratowski.ml: Array Dmp Format Gr Hashtbl List Queue

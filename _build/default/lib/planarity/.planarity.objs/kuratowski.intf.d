@@ -1,0 +1,1 @@
+lib/planarity/kuratowski.mli: Format Gr

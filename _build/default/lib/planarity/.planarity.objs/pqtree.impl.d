@@ -1,0 +1,1 @@
+lib/planarity/pqtree.ml: Array Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/planarity/pqtree.mli: Format

@@ -1,0 +1,1 @@
+lib/planarity/separator.ml: Array Dmp Gr Hashtbl List Queue Rotation Traverse

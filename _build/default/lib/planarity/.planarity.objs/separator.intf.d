@@ -1,0 +1,1 @@
+lib/planarity/separator.mli: Gr

@@ -1,0 +1,27 @@
+(** Centralized planarity testing and embedding:
+    the Demoucron–Malgrange–Pertuiset (DMP) algorithm.
+
+    This is the repository's stand-in for the Hopcroft–Tarjan linear-time
+    embedder the paper cites as the centralized baseline ([HT74]): DMP is
+    quadratic but simple enough to be convincingly correct, which matters
+    more here — it anchors the correctness of every distributed run (the
+    CONGEST model grants nodes free local computation; the paper's footnote
+    3 only requires poly(n)).
+
+    The algorithm embeds each biconnected component separately (starting
+    from a cycle and iteratively routing a path of some unembedded fragment
+    through an admissible face) and then combines the blocks' rotations at
+    cut vertices, which is always possible planarly. *)
+
+type result =
+  | Planar of Rotation.t  (** a verified-shape rotation system. *)
+  | Nonplanar
+
+val embed : Gr.t -> result
+(** Planarity test plus embedding. Works on any simple graph, connected or
+    not (each component is embedded independently). *)
+
+val is_planar : Gr.t -> bool
+
+val embed_exn : Gr.t -> Rotation.t
+(** @raise Invalid_argument if the graph is not planar. *)

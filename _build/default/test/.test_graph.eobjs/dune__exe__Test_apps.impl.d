@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Dmp Dual Gen Gr Kuratowski List Mst QCheck QCheck_alcotest Separator Traverse

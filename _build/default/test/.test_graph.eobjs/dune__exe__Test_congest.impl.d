@@ -1,0 +1,1 @@
+test/test_congest.ml: Alcotest Array Costmodel Gen Gr Metrics Network Proto QCheck QCheck_alcotest Traverse

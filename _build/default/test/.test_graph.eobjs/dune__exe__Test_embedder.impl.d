@@ -1,0 +1,1 @@
+test/test_embedder.ml: Alcotest Baseline Decompose Dmp Embedder Gen Gr List Part Partition QCheck QCheck_alcotest Rotation Traverse

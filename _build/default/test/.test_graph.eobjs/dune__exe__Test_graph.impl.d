@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bicon Gen Gr List QCheck QCheck_alcotest Rotation Traverse Unionfind

@@ -1,0 +1,1 @@
+test/test_interface.ml: Alcotest Array Constrained Gen Gr Hashtbl Iface List Pqtree QCheck QCheck_alcotest Random Rotation Traverse

@@ -1,0 +1,1 @@
+test/test_planarity.ml: Alcotest Array Dmp Gen Gr List QCheck QCheck_alcotest Rotation

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array Embedder Gen Gr List Mst Network Part Rotation Separator

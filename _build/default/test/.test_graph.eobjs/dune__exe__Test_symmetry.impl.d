@@ -1,0 +1,1 @@
+test/test_symmetry.ml: Alcotest Array Gen Gr Hashtbl List QCheck QCheck_alcotest Symmetry

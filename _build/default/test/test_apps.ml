@@ -1,0 +1,313 @@
+(* Tests for the application-layer modules built on the embedding:
+   Kuratowski witnesses (non-planarity certificates), the dual of an
+   embedding, and the distributed Borůvka MST (the part-II downstream
+   consumer). *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Kuratowski                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_planar_no_witness () =
+  check_bool "grid" true (Kuratowski.witness (Gen.grid 4 4) = None);
+  check_bool "tree" true (Kuratowski.witness (Gen.binary_tree 15) = None);
+  check_bool "k4" true (Kuratowski.witness (Gen.complete 4) = None)
+
+let test_k5_witness () =
+  let (edges, kind) = Kuratowski.witness_exn (Gen.k5 ()) in
+  check "edges" 10 (List.length edges);
+  check_bool "kind" true (kind = Kuratowski.K5)
+
+let test_k33_witness () =
+  let (edges, kind) = Kuratowski.witness_exn (Gen.k33 ()) in
+  check "edges" 9 (List.length edges);
+  check_bool "kind" true (kind = Kuratowski.K33)
+
+let test_petersen_witness () =
+  (* The Petersen graph contains K3,3 subdivisions (it has no K5
+     subdivision: max degree 3). *)
+  let (_, kind) = Kuratowski.witness_exn (Gen.petersen ()) in
+  check_bool "kind" true (kind = Kuratowski.K33)
+
+let test_subdivided_witnesses () =
+  let (_, k5) = Kuratowski.witness_exn (Gen.subdivide (Gen.k5 ()) 4) in
+  check_bool "k5" true (k5 = Kuratowski.K5);
+  let (_, k33) = Kuratowski.witness_exn (Gen.subdivide (Gen.k33 ()) 3) in
+  check_bool "k33" true (k33 = Kuratowski.K33)
+
+let test_classify_rejects_nonwitness () =
+  let g = Gen.k5 () in
+  (* A proper subset of K5's edges is not a Kuratowski subdivision. *)
+  let edges = List.filteri (fun i _ -> i < 8) (Gr.edges g) in
+  check_bool "reject" true (Kuratowski.classify g edges = None);
+  (* A planar graph's full edge set is not one either. *)
+  let h = Gen.wheel 6 in
+  check_bool "wheel" true (Kuratowski.classify h (Gr.edges h) = None)
+
+let prop_witness_on_noisy_nonplanar =
+  QCheck.Test.make
+    ~name:"witnesses extract and verify from nonplanar graphs with planar noise"
+    ~count:25
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      (* A subdivided Kuratowski graph unioned with a random planar graph,
+         plus a few connecting edges. *)
+      let core =
+        if seed mod 2 = 0 then Gen.subdivide (Gen.k5 ()) 2
+        else Gen.subdivide (Gen.k33 ()) 2
+      in
+      let noise = Gen.random_planar ~seed ~n:20 ~m:30 in
+      let off = Gr.n core in
+      let edges =
+        Gr.edges core
+        @ List.map (fun (u, v) -> (u + off, v + off)) (Gr.edges noise)
+        @ [ (0, off); (1, off + 1) ]
+      in
+      let g = Gr.of_edges ~n:(off + 20) edges in
+      match Kuratowski.witness g with
+      | None -> false
+      | Some w -> (
+          match Kuratowski.classify g w with
+          | Some k ->
+              (* The witness core must match what we planted (the noise is
+                 planar, so only the planted subdivision can survive). *)
+              if seed mod 2 = 0 then k = Kuratowski.K5 else k = Kuratowski.K33
+          | None -> false))
+
+let prop_witness_is_minimal =
+  QCheck.Test.make ~name:"removing any witness edge leaves a planar subgraph"
+    ~count:10
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let g = Gen.random_connected_graph ~seed ~n:12 ~m:32 in
+      match Kuratowski.witness g with
+      | None -> Dmp.is_planar g
+      | Some w ->
+          (not (Dmp.is_planar (Gr.of_edges ~n:(Gr.n g) w)))
+          && List.for_all
+               (fun e ->
+                 Dmp.is_planar
+                   (Gr.of_edges ~n:(Gr.n g)
+                      (List.filter (fun e' -> e' <> e) w)))
+               w)
+
+(* ------------------------------------------------------------------ *)
+(* Dual                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_dual_cycle () =
+  let d = Dual.make (Dmp.embed_exn (Gen.cycle 6)) in
+  check "faces" 2 (Dual.n_faces d);
+  check "degree" 6 (Dual.degree d 0);
+  (* Simple dual of a cycle: two faces, one (collapsed) edge. *)
+  check "dual m" 1 (Gr.m (Dual.simple d))
+
+let test_dual_tree_selfloops () =
+  (* A tree has one face; every edge is a bridge (self-loop in the raw
+     dual), so the simple dual has no edges. *)
+  let d = Dual.make (Dmp.embed_exn (Gen.binary_tree 7)) in
+  check "faces" 1 (Dual.n_faces d);
+  check "simple dual edges" 0 (Gr.m (Dual.simple d));
+  (* Every adjacency entry crosses back into the same face. *)
+  check_bool "self adjacency" true
+    (List.for_all (fun (f, _) -> f = 0) (Dual.adjacency d 0))
+
+let test_dual_grid () =
+  let g = Gen.grid 3 4 in
+  let d = Dual.make (Dmp.embed_exn g) in
+  (* 2x3 inner cells + outer face. *)
+  check "faces" 7 (Dual.n_faces d);
+  check_bool "dual connected" true (Traverse.is_connected (Dual.simple d))
+
+let prop_dual_degree_sum =
+  QCheck.Test.make ~name:"face degrees sum to 2m" ~count:40
+    QCheck.(pair (int_range 0 100000) (int_range 3 40))
+    (fun (seed, n) ->
+      let g = Gen.random_planar ~seed ~n ~m:(max (n - 1) (min ((3 * n) - 6) (2 * n))) in
+      let d = Dual.make (Dmp.embed_exn g) in
+      let total = ref 0 in
+      for f = 0 to Dual.n_faces d - 1 do
+        total := !total + Dual.degree d f
+      done;
+      !total = 2 * Gr.m g)
+
+let prop_dual_euler =
+  QCheck.Test.make ~name:"dual face count matches Euler's formula" ~count:40
+    QCheck.(pair (int_range 0 100000) (int_range 3 40))
+    (fun (seed, n) ->
+      let g = Gen.random_planar ~seed ~n ~m:(max (n - 1) (min ((3 * n) - 6) (2 * n))) in
+      let d = Dual.make (Dmp.embed_exn g) in
+      Dual.n_faces d = 2 - Gr.n g + Gr.m g)
+
+let prop_dual_darts_consistent =
+  QCheck.Test.make ~name:"dart face lookup matches the boundary lists"
+    ~count:25
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let g = Gen.random_planar ~seed ~n:25 ~m:45 in
+      let d = Dual.make (Dmp.embed_exn g) in
+      let ok = ref true in
+      for f = 0 to Dual.n_faces d - 1 do
+        List.iter
+          (fun dart -> if Dual.face_of_dart d dart <> f then ok := false)
+          (Dual.boundary d f)
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* MST                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let weight_fn seed u v = (((u + 3) * 7919 * (seed + 1)) + ((v + 11) * 104729)) mod 1000
+
+let test_mst_path () =
+  let g = Gen.path 6 in
+  let (mst, rep) = Mst.run ~weight:(fun _ _ -> 1) g in
+  check "edges" 5 (List.length mst);
+  check_bool "phases" true (rep.Mst.boruvka_phases <= 3)
+
+let test_mst_single_vertex () =
+  let (mst, _) = Mst.run ~weight:(fun _ _ -> 1) (Gr.empty 1) in
+  check "edges" 0 (List.length mst)
+
+let test_mst_disconnected_rejected () =
+  (try
+     ignore (Mst.run ~weight:(fun _ _ -> 1) (Gr.of_edges ~n:4 [ (0, 1); (2, 3) ]));
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let prop_mst_matches_kruskal =
+  QCheck.Test.make ~name:"distributed MST equals Kruskal's" ~count:40
+    QCheck.(pair (int_range 0 100000) (int_range 2 60))
+    (fun (seed, n) ->
+      let g =
+        Gen.random_connected_graph ~seed ~n
+          ~m:(min (n * (n - 1) / 2) (2 * n))
+      in
+      let weight = weight_fn seed in
+      let (mst, _) = Mst.run ~weight g in
+      List.sort compare mst = List.sort compare (Mst.kruskal ~weight g))
+
+let prop_mst_is_spanning_tree =
+  QCheck.Test.make ~name:"MST output is a spanning tree" ~count:30
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let g = Gen.random_maximal_planar ~seed 40 in
+      let (mst, _) = Mst.run ~weight:(weight_fn seed) g in
+      let t = Gr.of_edges ~n:40 mst in
+      Gr.m t = 39 && Traverse.is_connected t)
+
+let prop_mst_phase_bound =
+  QCheck.Test.make ~name:"Boruvka uses at most log2 n phases" ~count:20
+    QCheck.(pair (int_range 0 100000) (int_range 2 80))
+    (fun (seed, n) ->
+      let g = Gen.random_connected_graph ~seed ~n ~m:(min (n * (n - 1) / 2) (2 * n)) in
+      let (_, rep) = Mst.run ~weight:(weight_fn seed) g in
+      rep.Mst.boruvka_phases
+      <= int_of_float (ceil (log (float_of_int n) /. log 2.0)) + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Separator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_separator_rejects_bad_inputs () =
+  (try
+     ignore (Separator.separate (Gen.k5 ()));
+     Alcotest.fail "expected Invalid_argument (non-planar)"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Separator.separate (Gr.of_edges ~n:4 [ (0, 1); (2, 3) ]));
+     Alcotest.fail "expected Invalid_argument (disconnected)"
+   with Invalid_argument _ -> ())
+
+let test_separator_star () =
+  (* The star's center is the canonical separator. *)
+  let s = Separator.separate (Gen.star 50) in
+  check_bool "check" true (Separator.check (Gen.star 50) s);
+  check_bool "balanced" true (s.Separator.balance <= 2.0 /. 3.0)
+
+let test_separator_grid () =
+  let g = Gen.grid 16 16 in
+  let s = Separator.separate g in
+  check_bool "check" true (Separator.check g s);
+  check_bool "balanced" true (s.Separator.balance <= 2.0 /. 3.0);
+  (* O(sqrt n): a 16x16 grid should be cut by about one row/column. *)
+  check_bool "size" true (List.length s.Separator.separator <= 40)
+
+let prop_separator_valid_and_balanced =
+  QCheck.Test.make
+    ~name:"separators are valid, 2/3-balanced and O(sqrt n) on planar families"
+    ~count:30
+    QCheck.(pair (int_range 0 100000) (int_range 10 200))
+    (fun (seed, n) ->
+      let g =
+        match seed mod 4 with
+        | 0 -> Gen.random_maximal_planar ~seed n
+        | 1 -> Gen.random_planar ~seed ~n ~m:(max (n - 1) (min ((3 * n) - 6) (2 * n)))
+        | 2 -> Gen.random_tree ~seed n
+        | _ -> Gen.random_outerplanar ~seed ~n ~chord_prob:0.5
+      in
+      let s = Separator.separate g in
+      Separator.check g s
+      && s.Separator.balance <= 2.0 /. 3.0 +. 1e-9
+      && float_of_int (List.length s.Separator.separator)
+         <= (4.0 *. sqrt (float_of_int n)) +. 4.0)
+
+let prop_separator_exact_cover =
+  QCheck.Test.make ~name:"separator + components cover every vertex once"
+    ~count:25
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let g = Gen.random_planar ~seed ~n:60 ~m:110 in
+      let s = Separator.separate g in
+      let total =
+        List.length s.Separator.separator
+        + List.fold_left (fun acc c -> acc + List.length c) 0
+            s.Separator.components
+      in
+      total = Gr.n g)
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "kuratowski",
+        [
+          Alcotest.test_case "planar" `Quick test_planar_no_witness;
+          Alcotest.test_case "k5" `Quick test_k5_witness;
+          Alcotest.test_case "k33" `Quick test_k33_witness;
+          Alcotest.test_case "petersen" `Quick test_petersen_witness;
+          Alcotest.test_case "subdivided" `Quick test_subdivided_witnesses;
+          Alcotest.test_case "classify rejects" `Quick
+            test_classify_rejects_nonwitness;
+          QCheck_alcotest.to_alcotest prop_witness_on_noisy_nonplanar;
+          QCheck_alcotest.to_alcotest prop_witness_is_minimal;
+        ] );
+      ( "dual",
+        [
+          Alcotest.test_case "cycle" `Quick test_dual_cycle;
+          Alcotest.test_case "tree" `Quick test_dual_tree_selfloops;
+          Alcotest.test_case "grid" `Quick test_dual_grid;
+          QCheck_alcotest.to_alcotest prop_dual_degree_sum;
+          QCheck_alcotest.to_alcotest prop_dual_euler;
+          QCheck_alcotest.to_alcotest prop_dual_darts_consistent;
+        ] );
+      ( "separator",
+        [
+          Alcotest.test_case "bad inputs" `Quick test_separator_rejects_bad_inputs;
+          Alcotest.test_case "star" `Quick test_separator_star;
+          Alcotest.test_case "grid" `Quick test_separator_grid;
+          QCheck_alcotest.to_alcotest prop_separator_valid_and_balanced;
+          QCheck_alcotest.to_alcotest prop_separator_exact_cover;
+        ] );
+      ( "mst",
+        [
+          Alcotest.test_case "path" `Quick test_mst_path;
+          Alcotest.test_case "single vertex" `Quick test_mst_single_vertex;
+          Alcotest.test_case "disconnected" `Quick test_mst_disconnected_rejected;
+          QCheck_alcotest.to_alcotest prop_mst_matches_kruskal;
+          QCheck_alcotest.to_alcotest prop_mst_is_spanning_tree;
+          QCheck_alcotest.to_alcotest prop_mst_phase_bound;
+        ] );
+    ]

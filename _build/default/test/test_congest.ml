@@ -1,0 +1,279 @@
+(* Tests for the CONGEST simulator: the engine's bandwidth enforcement and
+   quiescence semantics, the real protocols against their centralized
+   counterparts, and the cost model's arithmetic. *)
+
+let check = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Network engine                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A one-shot protocol: every node sends its id to every neighbor once. *)
+let hello_proto bits =
+  {
+    Network.init =
+      (fun g v ->
+        ((), Array.to_list (Array.map (fun w -> (w, v)) (Gr.neighbors g v))));
+    round = (fun _g _v st _inbox -> (st, []));
+    msg_bits = (fun _ -> bits);
+  }
+
+let test_quiescence () =
+  let g = Gen.cycle 6 in
+  let m = Metrics.create g in
+  let _ = Network.run ~metrics:m g (hello_proto 8) in
+  (* One spontaneous round of sends, then one delivery round. *)
+  check "rounds" 1 (Metrics.rounds m);
+  check "messages" 12 (Metrics.messages m);
+  check "bits" (12 * 8) (Metrics.total_bits m)
+
+let test_bandwidth_enforced () =
+  let g = Gen.path 2 in
+  (try
+     ignore (Network.run ~bandwidth:16 g (hello_proto 17));
+     Alcotest.fail "expected Bandwidth_exceeded"
+   with Network.Bandwidth_exceeded { bits; _ } -> check "bits" 17 bits)
+
+let test_bandwidth_cumulative () =
+  (* Two messages of 10 bits to the same neighbor in one round must break a
+     16-bit budget. *)
+  let g = Gen.path 2 in
+  let proto =
+    {
+      Network.init = (fun _g v -> ((), [ (1 - v, 0); (1 - v, 1) ]));
+      round = (fun _g _v st _inbox -> (st, []));
+      msg_bits = (fun _ -> 10);
+    }
+  in
+  (try
+     ignore (Network.run ~bandwidth:16 g proto);
+     Alcotest.fail "expected Bandwidth_exceeded"
+   with Network.Bandwidth_exceeded { bits; _ } -> check "bits" 20 bits)
+
+let test_non_neighbor_rejected () =
+  let g = Gr.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+  let proto =
+    {
+      Network.init = (fun _g v -> ((), if v = 0 then [ (2, 0) ] else []));
+      round = (fun _g _v st _inbox -> (st, []));
+      msg_bits = (fun _ -> 1);
+    }
+  in
+  (try
+     ignore (Network.run g proto);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_livelock_guard () =
+  (* A protocol that ping-pongs forever must hit max_rounds. *)
+  let g = Gen.path 2 in
+  let proto =
+    {
+      Network.init = (fun _g v -> ((), [ (1 - v, 0) ]));
+      round = (fun _g v st _inbox -> (st, [ (1 - v, 0) ]));
+      msg_bits = (fun _ -> 1);
+    }
+  in
+  (try
+     ignore (Network.run ~max_rounds:10 g proto);
+     Alcotest.fail "expected Failure"
+   with Failure _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Protocols vs centralized reference                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_leader_bfs_simple () =
+  let g = Gen.path 5 in
+  let states = Proto.leader_bfs g in
+  Array.iteri
+    (fun v st ->
+      check "leader" 4 st.Proto.leader;
+      check "dist" (4 - v) st.Proto.dist)
+    states
+
+let prop_leader_bfs_matches_centralized =
+  QCheck.Test.make ~name:"leader_bfs agrees with centralized BFS from max id"
+    ~count:60
+    QCheck.(pair (int_range 0 100000) (int_range 2 40))
+    (fun (seed, n) ->
+      let g = Gen.random_connected_graph ~seed ~n ~m:(min (2 * n) (n * (n - 1) / 2)) in
+      let states = Proto.leader_bfs g in
+      let reference = Traverse.bfs g (n - 1) in
+      let ok = ref true in
+      Array.iteri
+        (fun v st ->
+          if st.Proto.leader <> n - 1 then ok := false;
+          if st.Proto.dist <> reference.Traverse.dist.(v) then ok := false;
+          (* The parent must be a neighbor one step closer. *)
+          if v <> n - 1 then begin
+            if not (Gr.mem_edge g v st.Proto.parent) then ok := false;
+            if reference.Traverse.dist.(st.Proto.parent) <> st.Proto.dist - 1
+            then ok := false
+          end)
+        states;
+      !ok)
+
+let prop_leader_bfs_rounds_linear_in_diameter =
+  QCheck.Test.make ~name:"leader_bfs quiesces within O(D) rounds" ~count:30
+    QCheck.(int_range 3 60)
+    (fun n ->
+      let g = Gen.cycle n in
+      let m = Metrics.create g in
+      let _ = Proto.leader_bfs ~metrics:m g in
+      let d = Traverse.diameter g in
+      Metrics.rounds m <= (3 * d) + 3)
+
+let test_convergecast_sum () =
+  let g = Gen.binary_tree 15 in
+  let bt = Traverse.bfs g 0 in
+  let m = Metrics.create g in
+  let total =
+    Proto.convergecast ~metrics:m g ~parent:bt.Traverse.parent ~root:0
+      ~values:(Array.init 15 (fun i -> i))
+      ~op:( + ) ~value_bits:8
+  in
+  check "sum" (15 * 14 / 2) total;
+  check "rounds = depth" (Traverse.depth bt) (Metrics.rounds m)
+
+let prop_convergecast_max =
+  QCheck.Test.make ~name:"convergecast computes max over random trees"
+    ~count:40
+    QCheck.(pair (int_range 0 100000) (int_range 2 50))
+    (fun (seed, n) ->
+      let g = Gen.random_tree ~seed n in
+      let bt = Traverse.bfs g 0 in
+      let values = Array.init n (fun i -> (i * 7919) mod 1000) in
+      let got =
+        Proto.convergecast g ~parent:bt.Traverse.parent ~root:0 ~values
+          ~op:max ~value_bits:10
+      in
+      got = Array.fold_left max 0 values)
+
+let prop_subtree_sizes_protocol =
+  QCheck.Test.make ~name:"subtree_sizes protocol matches centralized sizes"
+    ~count:40
+    QCheck.(pair (int_range 0 100000) (int_range 2 50))
+    (fun (seed, n) ->
+      let g = Gen.random_connected_graph ~seed ~n ~m:(min (2 * n) (n * (n - 1) / 2)) in
+      let bt = Traverse.bfs g 0 in
+      let got = Proto.subtree_sizes g ~parent:bt.Traverse.parent ~root:0 in
+      got = Traverse.subtree_sizes g bt)
+
+let test_broadcast () =
+  let g = Gen.random_tree ~seed:4 20 in
+  let bt = Traverse.bfs g 0 in
+  let m = Metrics.create g in
+  let got = Proto.broadcast ~metrics:m g ~parent:bt.Traverse.parent ~root:0 ~value:42 ~value_bits:8 in
+  Array.iter (fun x -> check "value" 42 x) got;
+  check "rounds = depth" (Traverse.depth bt) (Metrics.rounds m)
+
+(* ------------------------------------------------------------------ *)
+(* Cost model                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_charge_path () =
+  let g = Gen.path 5 in
+  let m = Metrics.create g in
+  let c = Costmodel.create ~bandwidth:10 g m in
+  Costmodel.charge_path c [ 0; 1; 2; 3 ] ~bits:25;
+  (* 3 hops + ceil(25/10) - 1 = 3 + 3 - 1 = 5 rounds. *)
+  check "rounds" 5 (Costmodel.clock c);
+  check "edge bits" 25 (Metrics.edge_bits m (Gr.edge_index g 0 1));
+  check "untouched edge" 0 (Metrics.edge_bits m (Gr.edge_index g 3 4))
+
+let test_charge_path_trivial () =
+  let g = Gen.path 3 in
+  let m = Metrics.create g in
+  let c = Costmodel.create ~bandwidth:10 g m in
+  Costmodel.charge_path c [ 1 ] ~bits:100;
+  Costmodel.charge_path c [] ~bits:100;
+  check "no rounds" 0 (Costmodel.clock c)
+
+let test_charge_tree_gather () =
+  (* Star with center 0: each leaf ships 8 bits; the root edges each carry
+     8 bits; depth 1, max load 8, B=8 -> 1 + 1 = 2 rounds. *)
+  let g = Gen.star 5 in
+  let m = Metrics.create g in
+  let c = Costmodel.create ~bandwidth:8 g m in
+  let bt = Traverse.bfs g 0 in
+  Costmodel.charge_tree c ~root:0
+    ~parent:(fun v -> bt.Traverse.parent.(v))
+    ~members:[ 1; 2; 3; 4 ]
+    ~bits_of:(fun _ -> 8);
+  check "rounds" 2 (Costmodel.clock c);
+  check "total" 32 (Metrics.total_bits m)
+
+let test_charge_tree_loads_add_up () =
+  (* Path rooted at 0: member 3's payload loads edges (0,1),(1,2),(2,3). *)
+  let g = Gen.path 4 in
+  let m = Metrics.create g in
+  let c = Costmodel.create ~bandwidth:4 g m in
+  let bt = Traverse.bfs g 0 in
+  Costmodel.charge_tree c ~root:0
+    ~parent:(fun v -> bt.Traverse.parent.(v))
+    ~members:[ 3; 1 ]
+    ~bits_of:(fun v -> if v = 3 then 8 else 4);
+  check "edge 0-1 carries both" 12 (Metrics.edge_bits m (Gr.edge_index g 0 1));
+  check "edge 2-3 carries one" 8 (Metrics.edge_bits m (Gr.edge_index g 2 3));
+  (* depth 3 + ceil(12/4) = 6 *)
+  check "rounds" 6 (Costmodel.clock c)
+
+let test_charge_aggregate () =
+  let g = Gen.path 4 in
+  let m = Metrics.create g in
+  let c = Costmodel.create ~bandwidth:4 g m in
+  let bt = Traverse.bfs g 0 in
+  Costmodel.charge_aggregate c ~root:0
+    ~parent:(fun v -> bt.Traverse.parent.(v))
+    ~members:[ 1; 2; 3 ] ~bits:8;
+  (* Combining: every edge carries 8 bits once; depth 3 + ceil(8/4)-1. *)
+  check "edge 0-1" 8 (Metrics.edge_bits m (Gr.edge_index g 0 1));
+  check "rounds" 4 (Costmodel.clock c)
+
+let test_branch_max () =
+  let g = Gen.path 6 in
+  let m = Metrics.create g in
+  let c = Costmodel.create ~bandwidth:8 g m in
+  Costmodel.branch_max c
+    [
+      (fun () -> Costmodel.advance c 5);
+      (fun () -> Costmodel.advance c 11);
+      (fun () -> Costmodel.advance c 2);
+    ];
+  check "max" 11 (Costmodel.clock c);
+  Costmodel.advance c 1;
+  check "sequential after" 12 (Costmodel.clock c)
+
+let () =
+  Alcotest.run "congest"
+    [
+      ( "network",
+        [
+          Alcotest.test_case "quiescence" `Quick test_quiescence;
+          Alcotest.test_case "bandwidth" `Quick test_bandwidth_enforced;
+          Alcotest.test_case "bandwidth cumulative" `Quick
+            test_bandwidth_cumulative;
+          Alcotest.test_case "non-neighbor" `Quick test_non_neighbor_rejected;
+          Alcotest.test_case "livelock guard" `Quick test_livelock_guard;
+        ] );
+      ( "protocols",
+        [
+          Alcotest.test_case "leader path" `Quick test_leader_bfs_simple;
+          QCheck_alcotest.to_alcotest prop_leader_bfs_matches_centralized;
+          QCheck_alcotest.to_alcotest prop_leader_bfs_rounds_linear_in_diameter;
+          Alcotest.test_case "convergecast sum" `Quick test_convergecast_sum;
+          QCheck_alcotest.to_alcotest prop_convergecast_max;
+          QCheck_alcotest.to_alcotest prop_subtree_sizes_protocol;
+          Alcotest.test_case "broadcast" `Quick test_broadcast;
+        ] );
+      ( "costmodel",
+        [
+          Alcotest.test_case "path" `Quick test_charge_path;
+          Alcotest.test_case "path trivial" `Quick test_charge_path_trivial;
+          Alcotest.test_case "tree gather" `Quick test_charge_tree_gather;
+          Alcotest.test_case "tree loads" `Quick test_charge_tree_loads_add_up;
+          Alcotest.test_case "aggregate" `Quick test_charge_aggregate;
+          Alcotest.test_case "branch max" `Quick test_branch_max;
+        ] );
+    ]

@@ -1,0 +1,533 @@
+(* Unit and property tests for the graph substrate: Gr, Unionfind,
+   Traverse, Bicon, Rotation, Gen. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Gr                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_of_edges_dedup () =
+  let g = Gr.of_edges ~n:3 [ (0, 1); (1, 0); (0, 1); (1, 2) ] in
+  check "m" 2 (Gr.m g);
+  check "deg 1" 2 (Gr.degree g 1)
+
+let test_self_loop_rejected () =
+  Alcotest.check_raises "self-loop" (Invalid_argument "Gr.normalize_edge: self-loop")
+    (fun () -> ignore (Gr.of_edges ~n:2 [ (1, 1) ]))
+
+let test_out_of_range_rejected () =
+  (try
+     ignore (Gr.of_edges ~n:2 [ (0, 5) ]);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_neighbors_sorted () =
+  let g = Gr.of_edges ~n:5 [ (2, 4); (2, 0); (2, 3); (2, 1) ] in
+  Alcotest.(check (array int)) "sorted" [| 0; 1; 3; 4 |] (Gr.neighbors g 2)
+
+let test_mem_edge () =
+  let g = Gr.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  check_bool "0-1" true (Gr.mem_edge g 0 1);
+  check_bool "1-0" true (Gr.mem_edge g 1 0);
+  check_bool "0-2" false (Gr.mem_edge g 0 2);
+  check_bool "0-0" false (Gr.mem_edge g 0 0)
+
+let test_edge_index_roundtrip () =
+  let g = Gen.grid 3 4 in
+  List.iter
+    (fun (u, v) ->
+      let i = Gr.edge_index g u v in
+      Alcotest.(check (pair int int)) "roundtrip" (u, v) (Gr.edge_of_index g i);
+      check "sym" i (Gr.edge_index g v u))
+    (Gr.edges g)
+
+let test_induced () =
+  let g = Gen.cycle 6 in
+  let (h, old_of_new, new_of_old) = Gr.induced g [ 0; 1; 2; 4 ] in
+  check "n" 4 (Gr.n h);
+  check "m" 2 (Gr.m h);
+  (* edges 0-1 and 1-2 survive; 4 is isolated *)
+  check_bool "0-1" true (Gr.mem_edge h (new_of_old 0) (new_of_old 1));
+  check_bool "1-2" true (Gr.mem_edge h (new_of_old 1) (new_of_old 2));
+  check "back" 4 old_of_new.(new_of_old 4)
+
+let test_induced_duplicate_rejected () =
+  (try
+     ignore (Gr.induced (Gen.path 3) [ 0; 0 ]);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_union_vertices () =
+  let g = Gen.path 3 in
+  let h = Gr.union_vertices g ~more:2 [ (3, 0); (4, 2); (3, 4) ] in
+  check "n" 5 (Gr.n h);
+  check "m" 5 (Gr.m h)
+
+let test_relabel_preserves_degrees () =
+  let g = Gen.random_connected_graph ~seed:7 ~n:20 ~m:40 in
+  let perm = Gen.random_permutation ~seed:3 20 in
+  let h = Gr.relabel g perm in
+  for v = 0 to 19 do
+    check "degree" (Gr.degree g v) (Gr.degree h perm.(v))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Unionfind                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_unionfind_basic () =
+  let uf = Unionfind.create 5 in
+  check "count" 5 (Unionfind.count uf);
+  check_bool "union" true (Unionfind.union uf 0 1);
+  check_bool "re-union" false (Unionfind.union uf 1 0);
+  check_bool "same" true (Unionfind.same uf 0 1);
+  check_bool "not same" false (Unionfind.same uf 0 2);
+  check "count after" 4 (Unionfind.count uf)
+
+let prop_unionfind_vs_naive =
+  QCheck.Test.make ~name:"unionfind agrees with naive labels" ~count:100
+    QCheck.(pair (int_range 1 30) (list (pair (int_range 0 29) (int_range 0 29))))
+    (fun (n, ops) ->
+      let ops = List.map (fun (a, b) -> (a mod n, b mod n)) ops in
+      let uf = Unionfind.create n in
+      let label = Array.init n (fun i -> i) in
+      let relabel a b =
+        let la = label.(a) and lb = label.(b) in
+        if la <> lb then
+          Array.iteri (fun i l -> if l = lb then label.(i) <- la) label
+      in
+      List.iter
+        (fun (a, b) ->
+          ignore (Unionfind.union uf a b);
+          relabel a b)
+        ops;
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if Unionfind.same uf a b <> (label.(a) = label.(b)) then ok := false
+        done
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Traverse                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_bfs_path () =
+  let g = Gen.path 6 in
+  let t = Traverse.bfs g 0 in
+  for v = 0 to 5 do
+    check "dist" v t.Traverse.dist.(v)
+  done;
+  check "depth" 5 (Traverse.depth t)
+
+let test_bfs_grid_distances () =
+  let g = Gen.grid 4 5 in
+  let t = Traverse.bfs g 0 in
+  (* Manhattan distance from corner 0 = (r, c) -> r + c *)
+  for r = 0 to 3 do
+    for c = 0 to 4 do
+      check "manhattan" (r + c) t.Traverse.dist.((r * 5) + c)
+    done
+  done
+
+let test_tree_path () =
+  let g = Gen.path 5 in
+  let t = Traverse.bfs g 0 in
+  Alcotest.(check (list int)) "path" [ 0; 1; 2; 3 ] (Traverse.tree_path t 3)
+
+let test_subtree_sizes () =
+  let g = Gen.binary_tree 7 in
+  let t = Traverse.bfs g 0 in
+  let sz = Traverse.subtree_sizes g t in
+  check "root" 7 sz.(0);
+  check "leaf" 1 sz.(6);
+  check "internal" 3 sz.(1)
+
+let test_components () =
+  let g = Gr.of_edges ~n:6 [ (0, 1); (2, 3); (3, 4) ] in
+  check "count" 3 (List.length (Traverse.components g));
+  check_bool "connected" false (Traverse.is_connected g);
+  check_bool "path connected" true (Traverse.is_connected (Gen.path 4))
+
+let test_diameter_cycle () =
+  check "even cycle" 4 (Traverse.diameter (Gen.cycle 8));
+  check "odd cycle" 4 (Traverse.diameter (Gen.cycle 9));
+  check "path" 7 (Traverse.diameter (Gen.path 8))
+
+let test_diameter_k4_subdivision () =
+  (* Two branch vertices are 2*s apart via... actually the farthest pair are
+     midpoints of two disjoint segments: distance ~ s + s = 2s when s even.
+     Just sanity-check the scaling: D grows linearly in s. *)
+  let d3 = Traverse.diameter (Gen.k4_subdivision 3) in
+  let d9 = Traverse.diameter (Gen.k4_subdivision 9) in
+  check_bool "linear growth" true (d9 >= (2 * d3) + 2)
+
+let test_dfs_path () =
+  let g = Gen.path 5 in
+  let t = Traverse.dfs g 0 in
+  Alcotest.(check (array int)) "preorder" [| 0; 1; 2; 3; 4 |] t.Traverse.preorder;
+  check "parent" 2 t.Traverse.dfs_parent.(3)
+
+let test_dfs_deep_no_overflow () =
+  (* The whole point of the iterative implementation. *)
+  let g = Gen.path 50000 in
+  let t = Traverse.dfs g 0 in
+  check "reaches the end" 49999 t.Traverse.pre_index.(49999)
+
+let prop_dfs_spans_component =
+  QCheck.Test.make ~name:"dfs preorder covers the component, parents are edges"
+    ~count:50
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let g = Gen.random_connected_graph ~seed ~n:30 ~m:50 in
+      let t = Traverse.dfs g 0 in
+      Array.length t.Traverse.preorder = 30
+      && Array.for_all
+           (fun v ->
+             v = 0 || Gr.mem_edge g v t.Traverse.dfs_parent.(v))
+           t.Traverse.preorder
+      (* parent precedes child in preorder *)
+      && Array.for_all
+           (fun v ->
+             v = 0
+             || t.Traverse.pre_index.(t.Traverse.dfs_parent.(v))
+                < t.Traverse.pre_index.(v))
+           t.Traverse.preorder)
+
+let prop_bfs_dist_triangle =
+  QCheck.Test.make ~name:"bfs distances are 1-Lipschitz along edges" ~count:50
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let g = Gen.random_connected_graph ~seed ~n:30 ~m:60 in
+      let t = Traverse.bfs g 0 in
+      let ok = ref true in
+      Gr.iter_edges g (fun u v ->
+          if abs (t.Traverse.dist.(u) - t.Traverse.dist.(v)) > 1 then ok := false);
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Bicon                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_bicon_cycle () =
+  let g = Gen.cycle 7 in
+  let d = Bicon.decompose g in
+  check "one component" 1 d.Bicon.n_components;
+  check_bool "no cut vertices" true (Array.for_all not d.Bicon.is_cut)
+
+let test_bicon_path () =
+  let g = Gen.path 5 in
+  let d = Bicon.decompose g in
+  check "components" 4 d.Bicon.n_components;
+  check_bool "0 not cut" false d.Bicon.is_cut.(0);
+  check_bool "4 not cut" false d.Bicon.is_cut.(4);
+  for v = 1 to 3 do
+    check_bool "internal cut" true d.Bicon.is_cut.(v)
+  done
+
+let test_bicon_two_triangles () =
+  (* Two triangles sharing vertex 2. *)
+  let g = Gr.of_edges ~n:5 [ (0, 1); (1, 2); (0, 2); (2, 3); (3, 4); (2, 4) ] in
+  let d = Bicon.decompose g in
+  check "components" 2 d.Bicon.n_components;
+  check_bool "2 is cut" true d.Bicon.is_cut.(2);
+  check "2 in both" 2 (List.length d.Bicon.comps_of_vertex.(2));
+  check "0 in one" 1 (List.length d.Bicon.comps_of_vertex.(0))
+
+let test_bicon_paper_id () =
+  let g = Gr.of_edges ~n:5 [ (0, 1); (1, 2); (0, 2); (2, 3); (3, 4); (2, 4) ] in
+  let d = Bicon.decompose g in
+  let ids = List.init d.Bicon.n_components (Bicon.paper_component_id d) in
+  let sorted = List.sort compare ids in
+  Alcotest.(check (list (pair int int))) "ids" [ (0, 1); (2, 3) ] sorted
+
+let brute_force_cut_vertices g =
+  let n = Gr.n g in
+  let base = List.length (Traverse.components g) in
+  Array.init n (fun v ->
+      let others = List.filter (fun u -> u <> v) (List.init n (fun i -> i)) in
+      let (h, _, _) = Gr.induced g others in
+      (* v is a cut vertex iff removing it increases the component count
+         (ignoring the trivial loss of v itself when it was isolated). *)
+      let after = List.length (Traverse.components h) in
+      let v_isolated = Gr.degree g v = 0 in
+      after > base - (if v_isolated then 1 else 0))
+
+let prop_cut_vertices_match_brute_force =
+  QCheck.Test.make ~name:"bicon cut vertices match brute force" ~count:60
+    QCheck.(pair (int_range 0 10000) (int_range 2 14))
+    (fun (seed, n) ->
+      let m = min (n * (n - 1) / 2) (n + (seed mod 7)) in
+      let g = Gen.random_graph ~seed ~n ~m in
+      let d = Bicon.decompose g in
+      let brute = brute_force_cut_vertices g in
+      d.Bicon.is_cut = brute)
+
+let prop_each_edge_in_one_component =
+  QCheck.Test.make ~name:"every edge lies in exactly one bicon component"
+    ~count:60
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let g = Gen.random_connected_graph ~seed ~n:25 ~m:40 in
+      let d = Bicon.decompose g in
+      let counted = Array.make (Gr.m g) 0 in
+      Array.iter
+        (List.iter (fun (u, v) ->
+             let i = Gr.edge_index g u v in
+             counted.(i) <- counted.(i) + 1))
+        d.Bicon.components;
+      Array.for_all (fun c -> c = 1) counted
+      && Array.for_all (fun c -> c >= 0) d.Bicon.comp_of_edge)
+
+let prop_cut_iff_two_components =
+  QCheck.Test.make ~name:"cut vertex iff it belongs to >= 2 components"
+    ~count:60
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let g = Gen.random_connected_graph ~seed ~n:25 ~m:35 in
+      let d = Bicon.decompose g in
+      let ok = ref true in
+      Array.iteri
+        (fun v comps ->
+          let cut = List.length comps >= 2 in
+          if cut <> d.Bicon.is_cut.(v) then ok := false)
+        d.Bicon.comps_of_vertex;
+      !ok)
+
+let test_block_cut_tree () =
+  let g = Gr.of_edges ~n:5 [ (0, 1); (1, 2); (0, 2); (2, 3); (3, 4); (2, 4) ] in
+  let d = Bicon.decompose g in
+  let bct = Bicon.block_cut_tree g d in
+  (* 2 blocks + 1 cut vertex, cut vertex adjacent to both blocks. *)
+  check "nodes" 3 (Gr.n bct.Bicon.tree);
+  check "edges" 2 (Gr.m bct.Bicon.tree);
+  check_bool "tree connected" true (Traverse.is_connected bct.Bicon.tree)
+
+(* ------------------------------------------------------------------ *)
+(* Rotation                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_rotation_validation () =
+  let g = Gen.cycle 4 in
+  (try
+     (* Wrong neighbor in rotation. *)
+     ignore (Rotation.make g [| [| 1; 2 |]; [| 0; 2 |]; [| 1; 3 |]; [| 0; 2 |] |]);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_rotation_cycle_planar () =
+  let r = Rotation.of_sorted_adjacency (Gen.cycle 5) in
+  check "faces" 2 (Rotation.face_count r);
+  check "genus" 0 (Rotation.genus r);
+  check_bool "planar" true (Rotation.is_planar_embedding r)
+
+let test_rotation_k4 () =
+  (* A planar rotation of K4: vertex 3 inside triangle 0-1-2. *)
+  let g = Gen.complete 4 in
+  let rot = [| [| 1; 3; 2 |]; [| 2; 3; 0 |]; [| 0; 3; 1 |]; [| 0; 1; 2 |] |] in
+  let r = Rotation.make g rot in
+  check "genus" 0 (Rotation.genus r);
+  check "faces" 4 (Rotation.face_count r)
+
+let test_rotation_k4_twisted () =
+  (* Swapping one rotation makes the K4 embedding toroidal. *)
+  let g = Gen.complete 4 in
+  let rot = [| [| 1; 2; 3 |]; [| 2; 3; 0 |]; [| 0; 3; 1 |]; [| 0; 1; 2 |] |] in
+  let r = Rotation.make g rot in
+  check_bool "not planar" true (Rotation.genus r > 0)
+
+let test_faces_partition_darts () =
+  let g = Gen.triangular_grid 3 3 in
+  let r = Rotation.of_sorted_adjacency g in
+  let total = List.fold_left (fun acc f -> acc + List.length f) 0 (Rotation.faces r) in
+  check "darts" (2 * Gr.m g) total
+
+let test_face_of_dart () =
+  let r = Rotation.of_sorted_adjacency (Gen.cycle 4) in
+  let f = Rotation.face_of_dart r (0, 1) in
+  check "length" 4 (List.length f);
+  check_bool "starts at dart" true (List.hd f = (0, 1))
+
+let test_succ () =
+  let g = Gen.star 4 in
+  let r = Rotation.make g [| [| 2; 1; 3 |]; [| 0 |]; [| 0 |]; [| 0 |] |] in
+  check "succ" 1 (Rotation.succ r 0 2);
+  check "succ wrap" 2 (Rotation.succ r 0 3)
+
+let test_mirror_roundtrip () =
+  let g = Gen.complete 4 in
+  let rot = [| [| 1; 3; 2 |]; [| 2; 3; 0 |]; [| 0; 3; 1 |]; [| 0; 1; 2 |] |] in
+  let r = Rotation.make g rot in
+  let m = Rotation.mirror r in
+  check "mirror genus" (Rotation.genus r) (Rotation.genus m);
+  Alcotest.(check (array int)) "double mirror" (Rotation.rotation r 0)
+    (Rotation.rotation (Rotation.mirror m) 0)
+
+let prop_mirror_preserves_genus =
+  QCheck.Test.make ~name:"mirroring preserves genus and face count" ~count:40
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let g = Gen.random_connected_graph ~seed ~n:12 ~m:20 in
+      let r = Rotation.of_sorted_adjacency g in
+      let m = Rotation.mirror r in
+      Rotation.genus r = Rotation.genus m
+      && Rotation.face_count r = Rotation.face_count m)
+
+let prop_genus_label_invariant =
+  QCheck.Test.make ~name:"genus of sorted-adjacency rotation is label-dependent but valid"
+    ~count:40
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let g = Gen.random_connected_graph ~seed ~n:12 ~m:20 in
+      let r = Rotation.of_sorted_adjacency g in
+      let genus = Rotation.genus r in
+      (* Euler parity: n - m + f = 2 - 2g must hold exactly. *)
+      genus >= 0
+      && Gr.n g - Gr.m g + Rotation.face_count r = 2 - (2 * genus))
+
+(* ------------------------------------------------------------------ *)
+(* Gen                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_gen_sizes () =
+  check "path m" 9 (Gr.m (Gen.path 10));
+  check "ladder m" 13 (Gr.m (Gen.ladder 5));
+  check "fan m" 13 (Gr.m (Gen.fan 8));
+  check "cycle m" 10 (Gr.m (Gen.cycle 10));
+  check "star m" 9 (Gr.m (Gen.star 10));
+  check "complete m" 45 (Gr.m (Gen.complete 10));
+  check "k33 m" 9 (Gr.m (Gen.k33 ()));
+  check "petersen m" 15 (Gr.m (Gen.petersen ()));
+  check "wheel m" 18 (Gr.m (Gen.wheel 10));
+  check "grid m" 17 (Gr.m (Gen.grid 3 4));
+  check "tri grid m" 23 (Gr.m (Gen.triangular_grid 3 4));
+  check "toroidal m" 24 (Gr.m (Gen.toroidal_grid 3 4))
+
+let test_gen_k4_subdivision () =
+  let g = Gen.k4_subdivision 5 in
+  check "n" (4 + (6 * 4)) (Gr.n g);
+  check "m" 30 (Gr.m g);
+  (* Exactly four degree-3 vertices; the rest have degree 2. *)
+  let deg3 = ref 0 in
+  for v = 0 to Gr.n g - 1 do
+    let d = Gr.degree g v in
+    check_bool "deg 2 or 3" true (d = 2 || d = 3);
+    if d = 3 then incr deg3
+  done;
+  check "four branch vertices" 4 !deg3
+
+let test_gen_subdivide_identity () =
+  let g = Gen.petersen () in
+  check "same m" (Gr.m g) (Gr.m (Gen.subdivide g 1))
+
+let test_gen_maximal_planar () =
+  let g = Gen.random_maximal_planar ~seed:42 50 in
+  check "m = 3n - 6" (3 * 50 - 6) (Gr.m g);
+  check_bool "connected" true (Traverse.is_connected g)
+
+let test_gen_random_planar () =
+  let g = Gen.random_planar ~seed:5 ~n:40 ~m:70 in
+  check "n" 40 (Gr.n g);
+  check "m" 70 (Gr.m g);
+  check_bool "connected" true (Traverse.is_connected g)
+
+let test_gen_random_tree () =
+  let g = Gen.random_tree ~seed:1 30 in
+  check "m" 29 (Gr.m g);
+  check_bool "connected" true (Traverse.is_connected g)
+
+let test_gen_outerplanar_shape () =
+  let g = Gen.random_outerplanar ~seed:9 ~n:20 ~chord_prob:0.7 in
+  check_bool "connected" true (Traverse.is_connected g);
+  check_bool "has cycle edges" true (Gr.m g >= 20);
+  (* maximal outerplanar has at most 2n - 3 edges *)
+  check_bool "edge bound" true (Gr.m g <= (2 * 20) - 3)
+
+let test_gen_random_connected () =
+  let g = Gen.random_connected_graph ~seed:2 ~n:25 ~m:50 in
+  check "m" 50 (Gr.m g);
+  check_bool "connected" true (Traverse.is_connected g)
+
+let prop_permutation_valid =
+  QCheck.Test.make ~name:"random_permutation is a permutation" ~count:50
+    QCheck.(pair (int_range 0 1000) (int_range 1 50))
+    (fun (seed, n) ->
+      let p = Gen.random_permutation ~seed n in
+      let seen = Array.make n false in
+      Array.iter (fun i -> seen.(i) <- true) p;
+      Array.for_all (fun b -> b) seen)
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "gr",
+        [
+          Alcotest.test_case "dedup" `Quick test_of_edges_dedup;
+          Alcotest.test_case "self-loop" `Quick test_self_loop_rejected;
+          Alcotest.test_case "range" `Quick test_out_of_range_rejected;
+          Alcotest.test_case "sorted" `Quick test_neighbors_sorted;
+          Alcotest.test_case "mem_edge" `Quick test_mem_edge;
+          Alcotest.test_case "edge_index" `Quick test_edge_index_roundtrip;
+          Alcotest.test_case "induced" `Quick test_induced;
+          Alcotest.test_case "induced dup" `Quick test_induced_duplicate_rejected;
+          Alcotest.test_case "union_vertices" `Quick test_union_vertices;
+          Alcotest.test_case "relabel" `Quick test_relabel_preserves_degrees;
+        ] );
+      ( "unionfind",
+        Alcotest.test_case "basic" `Quick test_unionfind_basic
+        :: List.map QCheck_alcotest.to_alcotest [ prop_unionfind_vs_naive ] );
+      ( "traverse",
+        [
+          Alcotest.test_case "bfs path" `Quick test_bfs_path;
+          Alcotest.test_case "bfs grid" `Quick test_bfs_grid_distances;
+          Alcotest.test_case "tree_path" `Quick test_tree_path;
+          Alcotest.test_case "subtree sizes" `Quick test_subtree_sizes;
+          Alcotest.test_case "dfs path" `Quick test_dfs_path;
+          Alcotest.test_case "dfs deep" `Quick test_dfs_deep_no_overflow;
+          QCheck_alcotest.to_alcotest prop_dfs_spans_component;
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "diameter" `Quick test_diameter_cycle;
+          Alcotest.test_case "k4 subdivision diameter" `Quick
+            test_diameter_k4_subdivision;
+          QCheck_alcotest.to_alcotest prop_bfs_dist_triangle;
+        ] );
+      ( "bicon",
+        [
+          Alcotest.test_case "cycle" `Quick test_bicon_cycle;
+          Alcotest.test_case "path" `Quick test_bicon_path;
+          Alcotest.test_case "two triangles" `Quick test_bicon_two_triangles;
+          Alcotest.test_case "paper id" `Quick test_bicon_paper_id;
+          Alcotest.test_case "block-cut tree" `Quick test_block_cut_tree;
+          QCheck_alcotest.to_alcotest prop_cut_vertices_match_brute_force;
+          QCheck_alcotest.to_alcotest prop_each_edge_in_one_component;
+          QCheck_alcotest.to_alcotest prop_cut_iff_two_components;
+        ] );
+      ( "rotation",
+        [
+          Alcotest.test_case "validation" `Quick test_rotation_validation;
+          Alcotest.test_case "cycle planar" `Quick test_rotation_cycle_planar;
+          Alcotest.test_case "k4 planar" `Quick test_rotation_k4;
+          Alcotest.test_case "k4 twisted" `Quick test_rotation_k4_twisted;
+          Alcotest.test_case "darts partition" `Quick test_faces_partition_darts;
+          Alcotest.test_case "face of dart" `Quick test_face_of_dart;
+          Alcotest.test_case "succ" `Quick test_succ;
+          Alcotest.test_case "mirror" `Quick test_mirror_roundtrip;
+          QCheck_alcotest.to_alcotest prop_mirror_preserves_genus;
+          QCheck_alcotest.to_alcotest prop_genus_label_invariant;
+        ] );
+      ( "gen",
+        [
+          Alcotest.test_case "sizes" `Quick test_gen_sizes;
+          Alcotest.test_case "k4 subdivision" `Quick test_gen_k4_subdivision;
+          Alcotest.test_case "subdivide k=1" `Quick test_gen_subdivide_identity;
+          Alcotest.test_case "maximal planar" `Quick test_gen_maximal_planar;
+          Alcotest.test_case "random planar" `Quick test_gen_random_planar;
+          Alcotest.test_case "random tree" `Quick test_gen_random_tree;
+          Alcotest.test_case "outerplanar" `Quick test_gen_outerplanar_shape;
+          Alcotest.test_case "random connected" `Quick test_gen_random_connected;
+          QCheck_alcotest.to_alcotest prop_permutation_valid;
+        ] );
+    ]

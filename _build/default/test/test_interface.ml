@@ -1,0 +1,350 @@
+(* Tests for the interface layer: PQ-trees (Observation 3.2 / Figure 4
+   operations), the outer-face-constrained embedder (Figure 1(b)) and the
+   interface construction from biconnected decompositions. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Pqtree                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_leaves () =
+  let t = Pqtree.Q [ Pqtree.Leaf 1; Pqtree.P [ Pqtree.Leaf 2; Pqtree.Leaf 3 ]; Pqtree.Leaf 4 ] in
+  Alcotest.(check (list int)) "leaves" [ 1; 2; 3; 4 ] (Pqtree.leaves t);
+  check "size" 6 (Pqtree.size t)
+
+let test_flip () =
+  let t = Pqtree.Q [ Pqtree.Leaf 1; Pqtree.Leaf 2; Pqtree.Leaf 3 ] in
+  let f = Pqtree.flip t ~path:[] in
+  Alcotest.(check (list int)) "flipped" [ 3; 2; 1 ] (Pqtree.leaves f)
+
+let test_flip_nested () =
+  (* Flipping a Q node mirrors everything inside it. *)
+  let t =
+    Pqtree.Q
+      [ Pqtree.Leaf 0; Pqtree.Q [ Pqtree.Leaf 1; Pqtree.Leaf 2 ]; Pqtree.Leaf 3 ]
+  in
+  let f = Pqtree.flip t ~path:[] in
+  Alcotest.(check (list int)) "mirror" [ 3; 2; 1; 0 ] (Pqtree.leaves f);
+  let g = Pqtree.flip t ~path:[ 1 ] in
+  Alcotest.(check (list int)) "inner flip" [ 0; 2; 1; 3 ] (Pqtree.leaves g)
+
+let test_flip_wrong_node () =
+  let t = Pqtree.P [ Pqtree.Leaf 1; Pqtree.Leaf 2 ] in
+  (try
+     ignore (Pqtree.flip t ~path:[]);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_permute () =
+  let t = Pqtree.P [ Pqtree.Leaf 1; Pqtree.Leaf 2; Pqtree.Leaf 3 ] in
+  let p = Pqtree.permute t ~path:[] ~perm:[| 2; 0; 1 |] in
+  Alcotest.(check (list int)) "permuted" [ 3; 1; 2 ] (Pqtree.leaves p)
+
+let test_permute_invalid () =
+  let t = Pqtree.P [ Pqtree.Leaf 1; Pqtree.Leaf 2 ] in
+  (try
+     ignore (Pqtree.permute t ~path:[] ~perm:[| 0; 0 |]);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_enumerate_q () =
+  (* A Q over three leaves has exactly two orders: forward and mirror. *)
+  let t = Pqtree.Q [ Pqtree.Leaf 1; Pqtree.Leaf 2; Pqtree.Leaf 3 ] in
+  check "count" 2 (Pqtree.count_orders t)
+
+let test_enumerate_p () =
+  (* A P over three leaves has all 3! linear orders. *)
+  let t = Pqtree.P [ Pqtree.Leaf 1; Pqtree.Leaf 2; Pqtree.Leaf 3 ] in
+  check "count" 6 (Pqtree.count_orders t)
+
+let test_enumerate_mixed () =
+  (* Q [a, P[b, c]]: orders a b c / a c b / and mirrors c b a / b c a. *)
+  let t =
+    Pqtree.Q [ Pqtree.Leaf 'a'; Pqtree.P [ Pqtree.Leaf 'b'; Pqtree.Leaf 'c' ] ]
+  in
+  check "count" 4 (Pqtree.count_orders t)
+
+let prop_flip_permute_preserve_leafset =
+  QCheck.Test.make ~name:"flips/permutations preserve the leaf multiset"
+    ~count:100
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      (* Build a small random tree deterministically from the seed. *)
+      let rng = Random.State.make [| seed |] in
+      let next_leaf = ref 0 in
+      let rec build depth =
+        if depth = 0 || Random.State.int rng 3 = 0 then begin
+          incr next_leaf;
+          Pqtree.Leaf !next_leaf
+        end
+        else
+          let k = 2 + Random.State.int rng 2 in
+          let children = List.init k (fun _ -> build (depth - 1)) in
+          if Random.State.bool rng then Pqtree.Q children else Pqtree.P children
+      in
+      let t = Pqtree.Q [ build 2; build 2 ] in
+      let flipped = Pqtree.flip t ~path:[] in
+      List.sort compare (Pqtree.leaves t)
+      = List.sort compare (Pqtree.leaves flipped))
+
+let prop_enumerated_orders_closed_under_mirror =
+  QCheck.Test.make ~name:"order sets of Q-rooted trees are mirror-closed"
+    ~count:50
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let next_leaf = ref 0 in
+      let leaf () = incr next_leaf; Pqtree.Leaf !next_leaf in
+      let t =
+        Pqtree.Q
+          [
+            leaf ();
+            (if Random.State.bool rng then Pqtree.P [ leaf (); leaf () ]
+             else Pqtree.Q [ leaf (); leaf () ]);
+            leaf ();
+          ]
+      in
+      let orders = Pqtree.enumerate_orders t in
+      List.for_all (fun o -> List.mem (List.rev o) orders) orders)
+
+let test_compress_runs () =
+  (* Three consecutive leaves of the same class collapse into one. *)
+  let t =
+    Pqtree.Q
+      [ Pqtree.Leaf (1, 'x'); Pqtree.Leaf (2, 'x'); Pqtree.Leaf (3, 'y') ]
+  in
+  let c = Pqtree.compress snd t in
+  (match c with
+  | Pqtree.Q [ Pqtree.Leaf ('x', 2); Pqtree.Leaf ('y', 1) ] -> ()
+  | _ -> Alcotest.fail "unexpected compression");
+  (* A P node merges same-class leaves regardless of position. *)
+  let t2 =
+    Pqtree.P
+      [ Pqtree.Leaf (1, 'x'); Pqtree.Leaf (2, 'y'); Pqtree.Leaf (3, 'x') ]
+  in
+  (match Pqtree.compress snd t2 with
+  | Pqtree.P [ Pqtree.Leaf ('x', 2); Pqtree.Leaf ('y', 1) ] -> ()
+  | _ -> Alcotest.fail "unexpected P compression")
+
+let test_compress_flattens_single_child () =
+  let t = Pqtree.Q [ Pqtree.P [ Pqtree.Leaf (1, 'x') ] ] in
+  (match Pqtree.compress snd t with
+  | Pqtree.Leaf ('x', 1) -> ()
+  | _ -> Alcotest.fail "expected full flattening")
+
+let test_bits_monotone_under_compression () =
+  let t =
+    Pqtree.Q (List.init 20 (fun i -> Pqtree.Leaf (i, i mod 2)))
+  in
+  let before = Pqtree.bits ~leaf_bits:(fun _ -> 16) t in
+  let after =
+    Pqtree.bits ~leaf_bits:(fun _ -> 16) (Pqtree.compress snd t)
+  in
+  check_bool "compression never grows" true (after <= before)
+
+(* ------------------------------------------------------------------ *)
+(* Constrained (apex) embedding                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_constrained_whole_graph () =
+  let g = Gen.grid 4 4 in
+  match Constrained.embed g ~part:(List.init 16 (fun i -> i)) ~half:[] with
+  | None -> Alcotest.fail "grid part failed"
+  | Some t ->
+      let r = Constrained.rotation_of_full t g in
+      check "genus" 0 (Rotation.genus r)
+
+let test_constrained_partial () =
+  (* Left half of a 4x4 grid; half-embedded edges cross to the right. *)
+  let g = Gen.grid 4 4 in
+  let part = [ 0; 1; 4; 5; 8; 9; 12; 13 ] in
+  let half = List.map (fun r -> ((r * 4) + 1, (r * 4) + 2)) [ 0; 1; 2; 3 ] in
+  (match Constrained.embed g ~part ~half with
+  | None -> Alcotest.fail "half grid failed"
+  | Some t ->
+      check_bool "structure valid" true (Constrained.check g ~part ~half t);
+      check "outer order covers all half edges" 4 (List.length t.Constrained.outer))
+
+let test_constrained_rejects_bad_half () =
+  let g = Gen.grid 2 2 in
+  (try
+     ignore (Constrained.embed g ~part:[ 0; 1 ] ~half:[ (0, 3) ]);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_constrained_detects_impossible () =
+  (* K5 minus a vertex's edges... simpler: part = K4 inside K5: the four
+     half-embedded edges to the apex vertex of K5 recreate K5, which is
+     not planar. *)
+  let g = Gen.k5 () in
+  let part = [ 0; 1; 2; 3 ] in
+  let half = List.map (fun u -> (u, 4)) [ 0; 1; 2; 3 ] in
+  check_bool "impossible" true (Constrained.embed g ~part ~half = None)
+
+let prop_constrained_parts_of_planar_graphs_embed =
+  QCheck.Test.make
+    ~name:"BFS-subtree parts of planar graphs embed with their half edges on one face"
+    ~count:40
+    QCheck.(pair (int_range 0 100000) (int_range 8 40))
+    (fun (seed, n) ->
+      let g = Gen.random_planar ~seed ~n ~m:(min ((3 * n) - 6) (2 * n)) in
+      let bt = Traverse.bfs g (n - 1) in
+      (* Take the subtree under some child of the root: a hanging part. *)
+      let kids = Traverse.children bt in
+      match kids.(n - 1) with
+      | [] -> QCheck.assume_fail ()
+      | c :: _ ->
+          let rec collect v = v :: List.concat_map collect kids.(v) in
+          let part = collect c in
+          let in_part = Hashtbl.create 16 in
+          List.iter (fun v -> Hashtbl.replace in_part v ()) part;
+          let half =
+            List.concat_map
+              (fun v ->
+                List.filter_map
+                  (fun w ->
+                    if Hashtbl.mem in_part w then None else Some (v, w))
+                  (Array.to_list (Gr.neighbors g v)))
+              part
+          in
+          (match Constrained.embed g ~part ~half with
+          | None -> false
+          | Some t -> Constrained.check g ~part ~half t))
+
+(* ------------------------------------------------------------------ *)
+(* Iface                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_iface_single_vertex () =
+  let g = Gen.star 4 in
+  (* Part = the center; half edges to all leaves, freely permutable. *)
+  match Iface.of_part g ~part:[ 0 ] ~half:[ (0, 1); (0, 2); (0, 3) ] with
+  | None -> Alcotest.fail "star center failed"
+  | Some t ->
+      check "leaves" 3 (List.length (Pqtree.leaves t));
+      check "orders" 6 (Pqtree.count_orders t)
+
+let test_iface_path_part () =
+  (* Part = middle path of a longer path graph; two half edges, fixed
+     (up to mirror) order. *)
+  let g = Gen.path 6 in
+  match Iface.of_part g ~part:[ 2; 3 ] ~half:[ (2, 1); (3, 4) ] with
+  | None -> Alcotest.fail "path part failed"
+  | Some t ->
+      check "leaves" 2 (List.length (Pqtree.leaves t));
+      check_bool "both orders realizable" true (Pqtree.count_orders t <= 2)
+
+let cyclic_equal a b =
+  let n = List.length a in
+  n = List.length b
+  && (n = 0
+     ||
+     let arr = Array.of_list b in
+     let rec rot k =
+       k < n && (List.mapi (fun i _ -> arr.((i + k) mod n)) a = a || rot (k + 1))
+     in
+     rot 0)
+
+let distinct_cyclic_orders t =
+  List.fold_left
+    (fun classes o ->
+      if List.exists (cyclic_equal o) classes then classes else o :: classes)
+    []
+    (Pqtree.enumerate_orders t)
+
+let test_iface_cycle_part () =
+  (* A cycle part with three half edges at distinct vertices: the cyclic
+     order is fixed up to a mirror flip, so there are at most 2 distinct
+     cyclic orders (the linear enumeration reads each rotation point). *)
+  let base = Gen.cycle 3 in
+  let g = Gr.union_vertices base ~more:3 [ (0, 3); (1, 4); (2, 5) ] in
+  match Iface.of_part g ~part:[ 0; 1; 2 ] ~half:[ (0, 3); (1, 4); (2, 5) ] with
+  | None -> Alcotest.fail "cycle part failed"
+  | Some t ->
+      check "leaves" 3 (List.length (Pqtree.leaves t));
+      check_bool "Q-like rigidity" true
+        (List.length (distinct_cyclic_orders t) <= 2)
+
+let test_iface_leafset_matches_half () =
+  let g = Gen.grid 3 4 in
+  let part = [ 0; 1; 4; 5; 8; 9 ] in
+  let in_part = Hashtbl.create 8 in
+  List.iter (fun v -> Hashtbl.replace in_part v ()) part;
+  let half =
+    List.concat_map
+      (fun v ->
+        List.filter_map
+          (fun w -> if Hashtbl.mem in_part w then None else Some (v, w))
+          (Array.to_list (Gr.neighbors g v)))
+      part
+  in
+  match Iface.of_part g ~part ~half with
+  | None -> Alcotest.fail "grid part failed"
+  | Some t ->
+      check_bool "leafset" true
+        (List.sort compare (Pqtree.leaves t) = List.sort compare half)
+
+let prop_realized_outer_order_is_in_interface =
+  QCheck.Test.make
+    ~name:"realized outer order is one of the interface's cyclic orders"
+    ~count:30
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      (* Small outerplanar part inside a slightly bigger planar graph. *)
+      let base = Gen.random_outerplanar ~seed ~n:5 ~chord_prob:0.5 in
+      let stubs = List.init 4 (fun i -> (i mod 5, 5 + i)) in
+      let g = Gr.union_vertices base ~more:5 ((5, 9) :: (6, 9) :: (7, 9) :: (8, 9) :: stubs) in
+      let part = [ 0; 1; 2; 3; 4 ] in
+      let half = stubs in
+      match Constrained.embed g ~part ~half, Iface.of_part g ~part ~half with
+      | Some emb, Some t ->
+          let realized = List.map snd emb.Constrained.outer in
+          let orders =
+            List.map (List.map snd) (Pqtree.enumerate_orders t)
+          in
+          List.exists (fun o -> cyclic_equal o realized || cyclic_equal (List.rev o) realized) orders
+      | _ -> false)
+
+let () =
+  Alcotest.run "interface"
+    [
+      ( "pqtree",
+        [
+          Alcotest.test_case "leaves" `Quick test_leaves;
+          Alcotest.test_case "flip" `Quick test_flip;
+          Alcotest.test_case "flip nested" `Quick test_flip_nested;
+          Alcotest.test_case "flip wrong node" `Quick test_flip_wrong_node;
+          Alcotest.test_case "permute" `Quick test_permute;
+          Alcotest.test_case "permute invalid" `Quick test_permute_invalid;
+          Alcotest.test_case "enumerate Q" `Quick test_enumerate_q;
+          Alcotest.test_case "enumerate P" `Quick test_enumerate_p;
+          Alcotest.test_case "enumerate mixed" `Quick test_enumerate_mixed;
+          QCheck_alcotest.to_alcotest prop_flip_permute_preserve_leafset;
+          QCheck_alcotest.to_alcotest prop_enumerated_orders_closed_under_mirror;
+          Alcotest.test_case "compress runs" `Quick test_compress_runs;
+          Alcotest.test_case "compress flattens" `Quick
+            test_compress_flattens_single_child;
+          Alcotest.test_case "compress bits" `Quick
+            test_bits_monotone_under_compression;
+        ] );
+      ( "constrained",
+        [
+          Alcotest.test_case "whole graph" `Quick test_constrained_whole_graph;
+          Alcotest.test_case "partial" `Quick test_constrained_partial;
+          Alcotest.test_case "bad half" `Quick test_constrained_rejects_bad_half;
+          Alcotest.test_case "impossible" `Quick
+            test_constrained_detects_impossible;
+          QCheck_alcotest.to_alcotest
+            prop_constrained_parts_of_planar_graphs_embed;
+        ] );
+      ( "iface",
+        [
+          Alcotest.test_case "single vertex" `Quick test_iface_single_vertex;
+          Alcotest.test_case "path part" `Quick test_iface_path_part;
+          Alcotest.test_case "cycle part" `Quick test_iface_cycle_part;
+          Alcotest.test_case "leafset" `Quick test_iface_leafset_matches_half;
+          QCheck_alcotest.to_alcotest prop_realized_outer_order_is_in_interface;
+        ] );
+    ]

@@ -1,0 +1,181 @@
+(* Tests for the centralized planarity substrate (DMP). The key soundness
+   oracle is independent of DMP: a claimed embedding must pass the
+   Euler-formula face-tracing check in Rotation. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let assert_planar ?(msg = "planar") g =
+  match Dmp.embed g with
+  | Dmp.Nonplanar -> Alcotest.failf "%s: DMP rejected a planar graph" msg
+  | Dmp.Planar r ->
+      check_bool (msg ^ ": verified genus 0") true
+        (Rotation.is_planar_embedding r);
+      r
+
+let assert_nonplanar ?(msg = "nonplanar") g =
+  match Dmp.embed g with
+  | Dmp.Nonplanar -> ()
+  | Dmp.Planar _ -> Alcotest.failf "%s: DMP accepted a non-planar graph" msg
+
+(* ------------------------------------------------------------------ *)
+(* Known planar families                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_planar_families () =
+  ignore (assert_planar ~msg:"K1" (Gr.empty 1));
+  ignore (assert_planar ~msg:"K2" (Gen.path 2));
+  ignore (assert_planar ~msg:"path" (Gen.path 12));
+  ignore (assert_planar ~msg:"cycle" (Gen.cycle 9));
+  ignore (assert_planar ~msg:"star" (Gen.star 10));
+  ignore (assert_planar ~msg:"tree" (Gen.binary_tree 31));
+  ignore (assert_planar ~msg:"K4" (Gen.complete 4));
+  ignore (assert_planar ~msg:"wheel" (Gen.wheel 12));
+  ignore (assert_planar ~msg:"grid" (Gen.grid 5 7));
+  ignore (assert_planar ~msg:"triangular grid" (Gen.triangular_grid 4 6));
+  ignore (assert_planar ~msg:"K2,n" (Gen.complete_bipartite 2 8));
+  ignore (assert_planar ~msg:"ladder" (Gen.ladder 10));
+  ignore (assert_planar ~msg:"fan" (Gen.fan 12))
+
+let test_nonplanar_families () =
+  assert_nonplanar ~msg:"K5" (Gen.k5 ());
+  assert_nonplanar ~msg:"K6" (Gen.complete 6);
+  assert_nonplanar ~msg:"K3,3" (Gen.k33 ());
+  assert_nonplanar ~msg:"K3,4" (Gen.complete_bipartite 3 4);
+  assert_nonplanar ~msg:"Petersen" (Gen.petersen ());
+  assert_nonplanar ~msg:"toroidal grid" (Gen.toroidal_grid 4 4)
+
+let test_subdivision_preserves () =
+  assert_nonplanar ~msg:"subdivided K5" (Gen.subdivide (Gen.k5 ()) 3);
+  assert_nonplanar ~msg:"subdivided K3,3" (Gen.subdivide (Gen.k33 ()) 2);
+  ignore (assert_planar ~msg:"subdivided K4" (Gen.k4_subdivision 4))
+
+let test_disconnected () =
+  (* Two disjoint planar pieces: K4 on 0-3 and a triangle on 4-6, plus an
+     isolated vertex 7. *)
+  let edges =
+    Gr.edges (Gen.complete 4)
+    @ [ (4, 5); (5, 6); (4, 6) ]
+  in
+  let g = Gr.of_edges ~n:8 edges in
+  ignore (assert_planar ~msg:"disconnected planar" g);
+  (* Disjoint union with a K5 must be rejected. *)
+  let k5_edges = List.map (fun (u, v) -> (u + 8, v + 8)) (Gr.edges (Gen.k5 ())) in
+  assert_nonplanar ~msg:"disconnected with K5" (Gr.of_edges ~n:13 (edges @ k5_edges))
+
+let test_blocks_combined () =
+  (* A chain of K4 blocks sharing cut vertices: planar, rotations must
+     concatenate consistently. *)
+  let block k = List.map (fun (u, v) -> (u + (3 * k), v + (3 * k))) (Gr.edges (Gen.complete 4)) in
+  let g = Gr.of_edges ~n:13 (block 0 @ block 1 @ block 2 @ block 3) in
+  let r = assert_planar ~msg:"K4 chain" g in
+  (* Cut vertices have degree 6 = two blocks of 3. *)
+  check "cut degree" 6 (Array.length (Rotation.rotation r 3))
+
+let test_maximal_planar_face_count () =
+  let g = Gen.random_maximal_planar ~seed:11 40 in
+  let r = assert_planar ~msg:"maximal planar" g in
+  (* A triangulation has exactly 2n - 4 faces. *)
+  check "faces" ((2 * 40) - 4) (Rotation.face_count r)
+
+let test_dense_reject_fast () =
+  (* m > 3n - 6 must be rejected (the early counting bound). *)
+  assert_nonplanar ~msg:"dense" (Gen.random_graph ~seed:3 ~n:12 ~m:40)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_random_planar_accepted =
+  QCheck.Test.make ~name:"random planar graphs embed with genus 0" ~count:60
+    QCheck.(pair (int_range 0 100000) (int_range 3 60))
+    (fun (seed, n) ->
+      let max_m = (3 * n) - 6 in
+      let m = max (n - 1) (min max_m (n - 1 + (seed mod (max 1 (max_m - n + 2))))) in
+      let g = Gen.random_planar ~seed ~n ~m in
+      match Dmp.embed g with
+      | Dmp.Nonplanar -> false
+      | Dmp.Planar r -> Rotation.is_planar_embedding r)
+
+let prop_label_invariance =
+  QCheck.Test.make ~name:"planarity verdict is invariant under relabeling"
+    ~count:40
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let n = 14 in
+      let g = Gen.random_graph ~seed ~n ~m:(min 24 (n * (n - 1) / 2)) in
+      let perm = Gen.random_permutation ~seed:(seed + 1) n in
+      Dmp.is_planar g = Dmp.is_planar (Gr.relabel g perm))
+
+let prop_subdivision_invariance =
+  QCheck.Test.make ~name:"planarity verdict is invariant under subdivision"
+    ~count:30
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let g = Gen.random_graph ~seed ~n:10 ~m:17 in
+      Dmp.is_planar g = Dmp.is_planar (Gen.subdivide g 2))
+
+let prop_outerplanar_is_planar =
+  QCheck.Test.make ~name:"generated outerplanar graphs are planar (and stay planar with an apex)"
+    ~count:40
+    QCheck.(pair (int_range 0 100000) (int_range 3 40))
+    (fun (seed, n) ->
+      let g = Gen.random_outerplanar ~seed ~n ~chord_prob:0.6 in
+      (* Outerplanarity: adding an apex adjacent to every vertex keeps the
+         graph planar. *)
+      let apex = Gr.n g in
+      let augmented =
+        Gr.union_vertices g ~more:1 (List.init (Gr.n g) (fun v -> (apex, v)))
+      in
+      Dmp.is_planar g && Dmp.is_planar augmented)
+
+let prop_embedding_covers_graph =
+  QCheck.Test.make ~name:"DMP rotation is over the exact input graph" ~count:40
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let g = Gen.random_planar ~seed ~n:30 ~m:50 in
+      match Dmp.embed g with
+      | Dmp.Nonplanar -> false
+      | Dmp.Planar r ->
+          let ok = ref true in
+          for v = 0 to Gr.n g - 1 do
+            let rot = Rotation.rotation r v in
+            if Array.length rot <> Gr.degree g v then ok := false;
+            Array.iter (fun u -> if not (Gr.mem_edge g u v) then ok := false) rot
+          done;
+          !ok)
+
+let prop_trees_embed_uniquely_flat =
+  QCheck.Test.make ~name:"trees embed with exactly one face" ~count:40
+    QCheck.(pair (int_range 0 100000) (int_range 2 50))
+    (fun (seed, n) ->
+      let g = Gen.random_tree ~seed n in
+      match Dmp.embed g with
+      | Dmp.Nonplanar -> false
+      | Dmp.Planar r -> Rotation.face_count r = 1)
+
+let () =
+  Alcotest.run "planarity"
+    [
+      ( "dmp-units",
+        [
+          Alcotest.test_case "planar families" `Quick test_planar_families;
+          Alcotest.test_case "nonplanar families" `Quick test_nonplanar_families;
+          Alcotest.test_case "subdivision" `Quick test_subdivision_preserves;
+          Alcotest.test_case "disconnected" `Quick test_disconnected;
+          Alcotest.test_case "blocks" `Quick test_blocks_combined;
+          Alcotest.test_case "triangulation faces" `Quick
+            test_maximal_planar_face_count;
+          Alcotest.test_case "dense reject" `Quick test_dense_reject_fast;
+        ] );
+      ( "dmp-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_random_planar_accepted;
+            prop_label_invariance;
+            prop_subdivision_invariance;
+            prop_outerplanar_is_planar;
+            prop_embedding_covers_graph;
+            prop_trees_embed_uniquely_flat;
+          ] );
+    ]
