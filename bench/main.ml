@@ -15,6 +15,7 @@
    (footnote 2 of the paper). *)
 
 let quick = ref false
+let trace_file = ref None
 
 let log2_ceil n =
   int_of_float (ceil (log (float_of_int (max 2 n)) /. log 2.0))
@@ -402,6 +403,46 @@ let micro () =
     (fun (name, ns) -> row "%-44s %14.1f us/run\n" name (ns /. 1e3))
     (List.sort compare rows)
 
+(* TRACE: instrumented profile ---------------------------------------- *)
+
+let trace_run file =
+  header "TRACE  instrumented profile of one embedder run"
+    "A full Theorem 1.1 run on a random maximal planar graph with the\n\
+     structured trace enabled: per-round records from the simulator\n\
+     phases, one span per recursion call and merge schedule, per-phase\n\
+     summary below, machine-readable JSON journal written to the given\n\
+     file, and the Bounds checker's verdict on the paper's claims.";
+  let n = if !quick then 250 else 1000 in
+  let g = maxplanar n in
+  let tr = Trace.create () in
+  let o = Embedder.run ~mode:Part.Economy ~trace:tr g in
+  let r = o.Embedder.report in
+  let d = Traverse.diameter g in
+  let meta =
+    [
+      ("n", r.Embedder.n);
+      ("m", r.Embedder.m);
+      ("diameter", d);
+      ("bandwidth", r.Embedder.bandwidth);
+      ("rounds", r.Embedder.rounds);
+      ("recursion_depth", r.Embedder.recursion_depth);
+      ("recursion_calls", r.Embedder.recursion_calls);
+    ]
+  in
+  let oc =
+    try open_out file
+    with Sys_error msg ->
+      Printf.eprintf "--trace: cannot write JSON journal: %s\n" msg;
+      exit 2
+  in
+  Trace.write_json ~name:(Printf.sprintf "maxplanar-%d" n) ~meta
+    ~metrics:r.Embedder.metrics oc tr;
+  close_out oc;
+  Format.printf "%a@.@." Trace.pp_summary tr;
+  Format.printf "%a@.@." Bounds.pp
+    (Bounds.check ~n:r.Embedder.n ~d r.Embedder.metrics);
+  Printf.printf "verify: %s — JSON journal written to %s\n" (verified o g) file
+
 (* Driver -------------------------------------------------------------- *)
 
 let all_experiments =
@@ -422,18 +463,23 @@ let all_experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--quick" then begin
-          quick := true;
-          false
-        end
-        else true)
-      args
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+        quick := true;
+        parse acc rest
+    | "--trace" :: file :: rest ->
+        trace_file := Some file;
+        parse acc rest
+    | [ "--trace" ] ->
+        prerr_endline "--trace needs an output file (e.g. --trace out.json)";
+        exit 2
+    | a :: rest -> parse (a :: acc) rest
   in
+  let args = parse [] args in
   let chosen =
     match args with
+    | [] when !trace_file <> None -> []
     | [] -> all_experiments
     | names ->
         List.map
@@ -453,4 +499,5 @@ let () =
     "distplanar experiment harness — reproduction of Ghaffari & Haeupler,\n\
      PODC 2016 (see DESIGN.md section 5 and EXPERIMENTS.md)%s\n"
     (if !quick then " [--quick sizes]" else "");
+  (match !trace_file with Some file -> trace_run file | None -> ());
   List.iter (fun (_name, f) -> f ()) chosen

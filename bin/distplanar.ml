@@ -232,6 +232,98 @@ let separator_cmd =
        ~doc:"Compute a balanced Lipton-Tarjan separator of a planar graph.")
     term
 
+let trace_cmd =
+  let json_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~doc:"Write the machine-readable JSON journal to $(docv).")
+  in
+  let keep_messages_t =
+    Arg.(
+      value & flag
+      & info [ "keep-messages" ]
+          ~doc:"Record every individual message in the journal (heavy).")
+  in
+  let run family n rows cols seglen seed m chord mode json keep_messages =
+    let g = make_graph family n rows cols seglen seed m chord in
+    graph_summary g;
+    let d = Traverse.diameter g in
+    let tr = Trace.create ~keep_messages () in
+    let o = Embedder.run ~mode ~trace:tr g in
+    let r = o.Embedder.report in
+    let metrics = r.Embedder.metrics in
+    Printf.printf "algorithm        : distributed recursive embedding, traced\n";
+    Printf.printf "bandwidth        : %d bits/edge/round\n" r.Embedder.bandwidth;
+    Printf.printf "rounds           : %d (recursion depth %d, %d calls)\n"
+      r.Embedder.rounds r.Embedder.recursion_depth r.Embedder.recursion_calls;
+    Format.printf "@.%a@.@." Trace.pp_summary tr;
+    (* The five busiest directed edges: where the congestion lives. *)
+    let rows = ref [] in
+    Metrics.iter_dir metrics (fun ~src ~dst ~bits ~messages ~burst ->
+        rows := (bits, src, dst, messages, burst) :: !rows);
+    let busiest =
+      List.filteri
+        (fun i _ -> i < 5)
+        (List.sort (fun (a, _, _, _, _) (b, _, _, _, _) -> compare b a) !rows)
+    in
+    Printf.printf "busiest directed edges (bits, src->dst, messages, max round \
+                   burst):\n";
+    List.iter
+      (fun (bits, src, dst, msgs, burst) ->
+        Printf.printf "  %8d  %5d -> %-5d %6d %6d\n" bits src dst msgs burst)
+      busiest;
+    let log = Metrics.round_log metrics in
+    Printf.printf "round histogram  : %d simulator rounds recorded, peak %d \
+                   active nodes, %d total messages\n"
+      (List.length log)
+      (Metrics.active_peak metrics)
+      (Metrics.messages metrics);
+    Format.printf "@.%a@.@." Bounds.pp
+      (Bounds.check ~n:r.Embedder.n ~d ~bandwidth:r.Embedder.bandwidth metrics);
+    (match json with
+    | None -> ()
+    | Some file ->
+        let meta =
+          [
+            ("n", r.Embedder.n);
+            ("m", r.Embedder.m);
+            ("diameter", d);
+            ("bandwidth", r.Embedder.bandwidth);
+            ("rounds", r.Embedder.rounds);
+            ("recursion_depth", r.Embedder.recursion_depth);
+            ("recursion_calls", r.Embedder.recursion_calls);
+          ]
+        in
+        let oc =
+          try open_out file
+          with Sys_error msg ->
+            Printf.eprintf "trace: cannot write JSON journal: %s\n" msg;
+            exit 2
+        in
+        Trace.write_json ~name:family ~meta ~metrics oc tr;
+        close_out oc;
+        Printf.printf "JSON journal     : written to %s\n" file);
+    match o.Embedder.rotation with
+    | None ->
+        Printf.printf "verdict          : NOT PLANAR\n";
+        exit 1
+    | Some rot ->
+        Printf.printf "verdict          : planar (independent Euler check: %s)\n"
+          (if Rotation.is_planar_embedding rot then "passed" else "FAILED")
+  in
+  let term =
+    Term.(
+      const run $ family_t $ n_t $ rows_t $ cols_t $ seglen_t $ seed_t $ m_t
+      $ chord_t $ mode_t $ json_t $ keep_messages_t)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run the embedder with structured tracing: per-phase profile, \
+          congestion hot spots, bound checks, optional JSON journal.")
+    term
+
 let families_cmd =
   let run () = print_endline family_doc in
   Cmd.v (Cmd.info "families" ~doc:"List graph families.") Term.(const run $ const ())
@@ -243,4 +335,5 @@ let () =
   in
   let info = Cmd.info "distplanar" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ embed_cmd; baseline_cmd; check_cmd; witness_cmd; separator_cmd; families_cmd ]))
+       [ embed_cmd; baseline_cmd; check_cmd; witness_cmd; separator_cmd;
+         trace_cmd; families_cmd ]))

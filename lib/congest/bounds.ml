@@ -1,0 +1,66 @@
+type verdict = {
+  n : int;
+  d : int;
+  word : int;
+  bandwidth : int;
+  rounds : int;
+  round_bound : int;
+  round_constant : float;
+  rounds_ok : bool;
+  max_message_bits : int;
+  message_bound : int;
+  message_constant : float;
+  message_ok : bool;
+  max_round_edge_bits : int;
+  burst_ok : bool;
+}
+
+let word_bits n =
+  let n = max 2 n in
+  let rec go k acc = if k <= 1 then acc else go (k / 2) (acc + 1) in
+  go (n - 1) 1
+
+let round_bound ?(c = 32) ~n ~d () = c * (d + 1) * min (word_bits n) (d + 1)
+
+let check ?(c_rounds = 32) ?(c_bits = 16) ?bandwidth ~n ~d metrics =
+  let word = word_bits n in
+  let bandwidth = match bandwidth with Some b -> b | None -> 16 * word in
+  let rounds = Metrics.rounds metrics in
+  let unit_rounds = (d + 1) * min word (d + 1) in
+  let round_bound = c_rounds * unit_rounds in
+  let max_message_bits = Metrics.max_message_bits metrics in
+  let message_bound = c_bits * word in
+  let max_round_edge_bits = Metrics.max_round_edge_bits metrics in
+  {
+    n;
+    d;
+    word;
+    bandwidth;
+    rounds;
+    round_bound;
+    round_constant = float_of_int rounds /. float_of_int unit_rounds;
+    rounds_ok = rounds <= round_bound;
+    max_message_bits;
+    message_bound;
+    message_constant = float_of_int max_message_bits /. float_of_int word;
+    message_ok = max_message_bits <= message_bound;
+    max_round_edge_bits;
+    burst_ok = max_round_edge_bits <= bandwidth;
+  }
+
+let ok v = v.rounds_ok && v.message_ok && v.burst_ok
+
+let pp ppf v =
+  let flag b = if b then "ok" else "EXCEEDED" in
+  Format.fprintf ppf
+    "@[<v>bounds (n=%d, D=%d, word=%d, B=%d):@ \
+     rounds            : %d <= %d = c*(D+1)*min(log n, D+1)  [%s, observed \
+     c=%.2f]@ \
+     max message bits  : %d <= %d = c*log n  [%s, observed c=%.2f]@ \
+     max round-edge    : %d <= %d = B  [%s]@]"
+    v.n v.d v.word v.bandwidth v.rounds v.round_bound (flag v.rounds_ok)
+    v.round_constant v.max_message_bits v.message_bound (flag v.message_ok)
+    v.message_constant v.max_round_edge_bits v.bandwidth (flag v.burst_ok)
+
+let assert_ok v =
+  if not (ok v) then failwith (Format.asprintf "Bounds.assert_ok: %a" pp v)

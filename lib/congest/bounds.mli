@@ -1,0 +1,61 @@
+(** Checking a run against the paper's quantitative claims.
+
+    Theorem 1.1: a planar embedding is computed in [O(D·min{log n, D})]
+    CONGEST rounds with [O(log n)]-bit messages. Given the measured
+    {!Metrics.t} of a run plus [n] and the diameter [D], this module
+    evaluates the concrete inequalities
+
+    - [rounds <= c_rounds · (D+1) · min(⌈log₂ n⌉, D+1)],
+    - every single message carries at most [c_bits · ⌈log₂ n⌉] bits,
+    - no directed edge carries more than [bandwidth] bits in one round,
+
+    and reports the observed constants, so experiments and regression
+    tests can assert the {e shape} of the theorem rather than eyeball
+    tables. The default constants are deliberately generous (the
+    reproduction targets asymptotics, not the paper's hidden constants);
+    tests pin tighter ones per family. *)
+
+type verdict = {
+  n : int;
+  d : int;  (** the diameter the caller measured or knows by construction. *)
+  word : int;  (** [⌈log₂ n⌉]. *)
+  bandwidth : int;
+  rounds : int;
+  round_bound : int;
+  round_constant : float;
+      (** observed [rounds / ((D+1)·min(⌈log₂ n⌉, D+1))]. *)
+  rounds_ok : bool;
+  max_message_bits : int;
+  message_bound : int;
+  message_constant : float;  (** observed [max_message_bits / ⌈log₂ n⌉]. *)
+  message_ok : bool;
+  max_round_edge_bits : int;
+  burst_ok : bool;  (** [max_round_edge_bits <= bandwidth]. *)
+}
+
+val word_bits : int -> int
+(** [⌈log₂ n⌉] (at least 1). *)
+
+val round_bound : ?c:int -> n:int -> d:int -> unit -> int
+(** [c · (d+1) · min(word_bits n, d+1)]; [c] defaults to 32. *)
+
+val check :
+  ?c_rounds:int ->
+  ?c_bits:int ->
+  ?bandwidth:int ->
+  n:int ->
+  d:int ->
+  Metrics.t ->
+  verdict
+(** Evaluate the three inequalities on the metrics of a finished run.
+    [c_rounds] defaults to 32; [c_bits] to 16 (the per-message budget is
+    then exactly {!Network.default_bandwidth}); [bandwidth] to
+    [16 · word_bits n]. *)
+
+val ok : verdict -> bool
+(** All three inequalities hold. *)
+
+val pp : Format.formatter -> verdict -> unit
+
+val assert_ok : verdict -> unit
+(** @raise Failure with the pretty-printed verdict if any bound fails. *)

@@ -2,14 +2,16 @@ type t = {
   g : Gr.t;
   bandwidth : int;
   metrics : Metrics.t;
+  trace : Trace.t option;
+  round_base : int;
   mutable clock : int;
 }
 
-let create ?bandwidth g metrics =
+let create ?bandwidth ?trace ?(round_base = 0) g metrics =
   let bandwidth =
     match bandwidth with Some b -> b | None -> Network.default_bandwidth g
   in
-  { g; bandwidth; metrics; clock = 0 }
+  { g; bandwidth; metrics; trace; round_base; clock = 0 }
 
 let bandwidth t = t.bandwidth
 
@@ -19,8 +21,35 @@ let word t =
   bits_needed (n - 1) 1
 
 let clock t = t.clock
+let now t = t.round_base + t.clock
 let advance t r = t.clock <- t.clock + r
 let ceil_div a b = (a + b - 1) / b
+
+let span_open t name =
+  match t.trace with
+  | Some tr -> Trace.span_open tr name ~round:(now t)
+  | None -> ()
+
+let span_close t ?attrs () =
+  match t.trace with
+  | Some tr -> Trace.span_close tr ?attrs ~round:(now t) ()
+  | None -> ()
+
+let span t name f =
+  span_open t name;
+  let result =
+    try f ()
+    with e ->
+      span_close t ();
+      raise e
+  in
+  span_close t ();
+  result
+
+let note t name value =
+  match t.trace with
+  | Some tr -> Trace.note tr name value ~round:(now t)
+  | None -> ()
 
 let charge_path t path ~bits =
   match path with
@@ -30,17 +59,16 @@ let charge_path t path ~bits =
       let prev = ref first in
       List.iter
         (fun v ->
-          Metrics.add_edge_bits_by_index t.metrics
-            (Gr.edge_index t.g !prev v)
-            bits;
+          Metrics.add_dir_bits t.metrics ~u:!prev ~v ~bits;
           prev := v)
         rest;
       if bits > 0 then t.clock <- t.clock + len + ceil_div bits t.bandwidth - 1
 
 let tree_loads t ~root ~parent ~members ~bits_of ~combining =
-  (* Accumulate per-edge loads by walking each member to the root; with
-     [combining] a later walk does not re-add bits to an edge already
-     loaded (the fold combines). Returns (loads, depth). *)
+  (* Accumulate per-directed-edge (child -> parent) loads by walking each
+     member to the root; with [combining] a later walk does not re-add
+     bits to an edge already loaded (the fold combines). Returns
+     (loads, depth). *)
   let loads = Hashtbl.create 64 in
   let depth = ref 0 in
   List.iter
@@ -51,9 +79,10 @@ let tree_loads t ~root ~parent ~members ~bits_of ~combining =
       while !v <> root do
         let p = parent !v in
         if p = !v then invalid_arg "Costmodel: broken tree";
-        let e = Gr.edge_index t.g !v p in
-        let sofar = try Hashtbl.find loads e with Not_found -> 0 in
-        Hashtbl.replace loads e (if combining then max sofar bits else sofar + bits);
+        if not (Gr.mem_edge t.g !v p) then raise Not_found;
+        let key = (!v, p) in
+        let sofar = try Hashtbl.find loads key with Not_found -> 0 in
+        Hashtbl.replace loads key (if combining then max sofar bits else sofar + bits);
         incr d;
         v := p
       done;
@@ -61,10 +90,15 @@ let tree_loads t ~root ~parent ~members ~bits_of ~combining =
     members;
   (loads, !depth)
 
+let commit_loads t loads =
+  Hashtbl.iter
+    (fun (u, v) l -> Metrics.add_dir_bits t.metrics ~u ~v ~bits:l)
+    loads
+
 let charge_tree t ~root ~parent ~members ~bits_of =
   let (loads, depth) = tree_loads t ~root ~parent ~members ~bits_of ~combining:false in
   let max_load = Hashtbl.fold (fun _ l acc -> max l acc) loads 0 in
-  Hashtbl.iter (fun e l -> Metrics.add_edge_bits_by_index t.metrics e l) loads;
+  commit_loads t loads;
   if max_load > 0 || depth > 0 then
     t.clock <- t.clock + depth + ceil_div max_load t.bandwidth
 
@@ -72,11 +106,12 @@ let charge_aggregate t ~root ~parent ~members ~bits =
   let (loads, depth) =
     tree_loads t ~root ~parent ~members ~bits_of:(fun _ -> bits) ~combining:true
   in
-  Hashtbl.iter (fun e l -> Metrics.add_edge_bits_by_index t.metrics e l) loads;
+  commit_loads t loads;
   if depth > 0 || bits > 0 then
     t.clock <- t.clock + depth + max 0 (ceil_div bits t.bandwidth - 1)
 
 let note_edge_bits t e bits = Metrics.add_edge_bits_by_index t.metrics e bits
+let note_dir_bits t ~u ~v bits = Metrics.add_dir_bits t.metrics ~u ~v ~bits
 
 let branch_max t branches =
   let t0 = t.clock in
@@ -92,6 +127,13 @@ let branch_max t branches =
 
 let phase t name f =
   let r0 = t.clock in
-  let result = f () in
+  span_open t name;
+  let result =
+    try f ()
+    with e ->
+      span_close t ();
+      raise e
+  in
+  span_close t ();
   Metrics.phase t.metrics name (t.clock - r0);
   result

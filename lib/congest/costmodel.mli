@@ -22,9 +22,13 @@
 
 type t
 
-val create : ?bandwidth:int -> Gr.t -> Metrics.t -> t
+val create :
+  ?bandwidth:int -> ?trace:Trace.t -> ?round_base:int -> Gr.t -> Metrics.t -> t
 (** The metrics object receives every charge. Default bandwidth:
-    {!Network.default_bandwidth}. *)
+    {!Network.default_bandwidth}. When a [trace] is given, {!phase},
+    {!span} and {!note} append span/note events to it, with round numbers
+    offset by [round_base] (default 0) — the rounds the run had already
+    consumed before this cost model took over the clock. *)
 
 val bandwidth : t -> int
 val word : t -> int
@@ -32,6 +36,21 @@ val word : t -> int
 
 val clock : t -> int
 (** Rounds elapsed so far in charged phases. *)
+
+val now : t -> int
+(** [round_base + clock]: the position on the run's unified timeline. *)
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** Wrap the thunk in a trace span on the unified timeline (a no-op
+    without a trace). The span closes even if the thunk raises. *)
+
+val span_open : t -> string -> unit
+val span_close : t -> ?attrs:(string * int) list -> unit -> unit
+(** Explicit variant of {!span} for callers whose closing attributes are
+    only known at the end (e.g. the merge schedule's survivor counts). *)
+
+val note : t -> string -> int -> unit
+(** Record a named scalar observation at the current round. *)
 
 val advance : t -> int -> unit
 (** Add a fixed number of rounds (e.g. [O(1)]-round local steps). *)
@@ -57,10 +76,15 @@ val note_edge_bits : t -> int -> int -> unit
     that schedule several concurrent shipments and account rounds
     themselves (e.g. the restricted path-coordinated merge). *)
 
+val note_dir_bits : t -> u:int -> v:int -> int -> unit
+(** Direction-aware variant of {!note_edge_bits}: charges [u -> v], so
+    the per-directed-edge tallies see it too. *)
+
 val branch_max : t -> (unit -> unit) list -> unit
 (** Run the branch thunks as parallel phases: each starts at the current
     clock; afterwards the clock is the maximum branch end. Edge-bit charges
     accumulate normally (branches are expected to touch disjoint edges). *)
 
 val phase : t -> string -> (unit -> 'a) -> 'a
-(** Label the rounds consumed by the thunk in the metrics' phase table. *)
+(** Label the rounds consumed by the thunk in the metrics' phase table,
+    and as a trace span when tracing. *)

@@ -11,10 +11,14 @@ let default_bandwidth g =
   let rec bits_needed k acc = if k <= 1 then acc else bits_needed (k / 2) (acc + 1) in
   16 * bits_needed (n - 1) 1
 
-let run ?bandwidth ?max_rounds ?metrics g proto =
+let run ?bandwidth ?max_rounds ?metrics ?trace g proto =
   let n = Gr.n g in
   let bandwidth = match bandwidth with Some b -> b | None -> default_bandwidth g in
   let max_rounds = match max_rounds with Some r -> r | None -> (16 * n) + 64 in
+  (* Successive runs on the same metrics continue one timeline: rounds
+     already accumulated offset this run's round numbers in the round log
+     and the trace. *)
+  let base = match metrics with Some m -> Metrics.rounds m | None -> 0 in
   let inits = Array.init n (fun v -> proto.init g v) in
   let states = Array.map fst inits in
   let outboxes = Array.map snd inits in
@@ -26,17 +30,23 @@ let run ?bandwidth ?max_rounds ?metrics g proto =
     (match metrics with
     | Some m -> Metrics.add_message m ~u ~v ~bits
     | None -> ());
-    ignore round;
+    (match trace with
+    | Some tr -> Trace.on_message tr ~round:(base + round) ~src:u ~dst:v ~bits
+    | None -> ());
     bits
   in
-  let check_budgets round outs =
-    (* Per directed edge, per round: total bits must fit the budget. *)
+  (* Check the per-directed-edge, per-round bandwidth budget of this
+     round's sends, record them, and commit the round's activity record. *)
+  let commit_round round ~active outs =
     let per_edge = Hashtbl.create 64 in
+    let msgs = ref 0 and bits_total = ref 0 in
     Array.iteri
       (fun u out ->
         List.iter
           (fun (v, msg) ->
             let bits = record_message round u v msg in
+            incr msgs;
+            bits_total := !bits_total + bits;
             let key = (u, v) in
             let sofar = try Hashtbl.find per_edge key with Not_found -> 0 in
             let now = sofar + bits in
@@ -44,34 +54,58 @@ let run ?bandwidth ?max_rounds ?metrics g proto =
               raise (Bandwidth_exceeded { round; u; v; bits = now });
             Hashtbl.replace per_edge key now)
           out)
-      outs
+      outs;
+    (match metrics with
+    | Some m ->
+        Hashtbl.iter
+          (fun (u, v) load -> Metrics.note_round_edge m ~u ~v ~bits:load)
+          per_edge;
+        Metrics.record_round m ~round:(base + round) ~active ~messages:!msgs
+          ~bits:!bits_total
+    | None -> ());
+    match trace with
+    | Some tr ->
+        Trace.on_round tr ~round:(base + round) ~active ~messages:!msgs
+          ~bits:!bits_total
+    | None -> ()
   in
   let round = ref 0 in
   let some_sent = ref (Array.exists (fun out -> out <> []) outboxes) in
-  (* Round 0's spontaneous sends are checked and counted too. *)
-  if !some_sent then check_budgets 0 outboxes;
+  (* Round 0's spontaneous sends are checked and counted too; every node
+     ran its init, so all n nodes are active. *)
+  if !some_sent then commit_round 0 ~active:n outboxes;
   while !some_sent do
     if !round >= max_rounds then
       failwith "Network.run: no quiescence before max_rounds";
     incr round;
-    (* Deliver: inbox of v = messages addressed to v last round. *)
+    (* Deliver: inbox of v = messages addressed to v last round, sorted by
+       sender id (ascending); a sender's own messages keep their outbox
+       order. The sort makes delivery order a guarantee of the model
+       rather than an accident of the engine's loop direction. *)
     let inboxes = Array.make n [] in
     Array.iteri
       (fun u out ->
         List.iter (fun (v, msg) -> inboxes.(v) <- (u, msg) :: inboxes.(v)) out)
       outboxes;
     for v = 0 to n - 1 do
-      outboxes.(v) <- []
+      outboxes.(v) <- [];
+      if inboxes.(v) <> [] then
+        inboxes.(v) <-
+          List.stable_sort
+            (fun (a, _) (b, _) -> compare a b)
+            (List.rev inboxes.(v))
     done;
+    let active = ref 0 in
     for v = 0 to n - 1 do
       if inboxes.(v) <> [] then begin
+        incr active;
         let (s, out) = proto.round g v states.(v) inboxes.(v) in
         states.(v) <- s;
         outboxes.(v) <- out
       end
     done;
     some_sent := Array.exists (fun out -> out <> []) outboxes;
-    if !some_sent then check_budgets !round outboxes
+    commit_round !round ~active:!active outboxes
   done;
   (match metrics with Some m -> Metrics.add_rounds m !round | None -> ());
   states

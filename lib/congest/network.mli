@@ -20,7 +20,12 @@ type ('s, 'm) protocol = {
   round : Gr.t -> int -> 's -> (int * 'm) list -> 's * (int * 'm) list;
       (** [round g v state inbox] processes the messages [(from, msg)]
           delivered this round and returns the new state and outbox
-          [(to, msg)]. Destinations must be neighbors of [v]. *)
+          [(to, msg)]. Destinations must be neighbors of [v].
+
+          {b Delivery order guarantee:} the inbox is sorted by sender id
+          (ascending), and several messages from the same sender arrive
+          in the order that sender listed them in its outbox. Protocols
+          may rely on this; it is deterministic by construction. *)
   msg_bits : 'm -> int;
 }
 
@@ -34,11 +39,16 @@ val run :
   ?bandwidth:int ->
   ?max_rounds:int ->
   ?metrics:Metrics.t ->
+  ?trace:Trace.t ->
   Gr.t ->
   ('s, 'm) protocol ->
   's array
 (** Run to quiescence and return the final states. Metrics (rounds,
-    messages, per-edge bits) accumulate into [metrics] when given.
+    messages, per-edge and per-round records) accumulate into [metrics]
+    when given; per-round (and, if kept, per-message) events are appended
+    to [trace]. Successive runs on the same metrics continue one round
+    timeline: this run's round numbers are offset by [Metrics.rounds] at
+    entry.
     @raise Bandwidth_exceeded when a node over-sends on an edge.
     @raise Failure if [max_rounds] (default [16 * n + 64]) elapse without
     quiescence — a livelock guard for buggy protocols. *)

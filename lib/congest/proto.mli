@@ -12,7 +12,8 @@ type bfs_state = {
   parent : int;  (** BFS parent ([leader]'s parent is itself). *)
 }
 
-val leader_bfs : ?metrics:Metrics.t -> ?bandwidth:int -> Gr.t -> bfs_state array
+val leader_bfs :
+  ?metrics:Metrics.t -> ?bandwidth:int -> ?trace:Trace.t -> Gr.t -> bfs_state array
 (** Flood the maximum id while relaxing distances: quiesces in [O(D)]
     rounds with every node knowing the leader, its BFS distance and a BFS
     parent. The network must be connected and non-empty. *)
@@ -20,6 +21,7 @@ val leader_bfs : ?metrics:Metrics.t -> ?bandwidth:int -> Gr.t -> bfs_state array
 val convergecast :
   ?metrics:Metrics.t ->
   ?bandwidth:int ->
+  ?trace:Trace.t ->
   Gr.t ->
   parent:int array ->
   root:int ->
@@ -34,6 +36,7 @@ val convergecast :
 val subtree_sizes :
   ?metrics:Metrics.t ->
   ?bandwidth:int ->
+  ?trace:Trace.t ->
   Gr.t ->
   parent:int array ->
   root:int ->
@@ -45,6 +48,7 @@ val subtree_sizes :
 val broadcast :
   ?metrics:Metrics.t ->
   ?bandwidth:int ->
+  ?trace:Trace.t ->
   Gr.t ->
   parent:int array ->
   root:int ->

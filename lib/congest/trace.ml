@@ -1,0 +1,284 @@
+type attr = string * int
+
+type event =
+  | Span_open of { name : string; round : int }
+  | Span_close of { name : string; round : int; attrs : attr list }
+  | Round of { round : int; active : int; messages : int; bits : int }
+  | Message of { round : int; src : int; dst : int; bits : int }
+  | Note of { name : string; value : int; round : int }
+
+type span = {
+  name : string;
+  depth : int;
+  start_round : int;
+  end_round : int;
+  attrs : attr list;
+}
+
+type t = {
+  keep_messages : bool;
+  max_events : int;
+  mutable events_rev : event list;
+  mutable n_events : int;
+  mutable dropped : int;
+  mutable stack : (string * int * int) list;
+      (* (name, start_round, open sequence number), innermost first *)
+  mutable spans_rev : (int * span) list;  (* (open sequence number, span) *)
+  mutable opened : int;
+}
+
+let create ?(keep_messages = false) ?(max_events = 200_000) () =
+  {
+    keep_messages;
+    max_events;
+    events_rev = [];
+    n_events = 0;
+    dropped = 0;
+    stack = [];
+    spans_rev = [];
+    opened = 0;
+  }
+
+let keep_messages t = t.keep_messages
+
+let push t ev =
+  if t.n_events >= t.max_events then t.dropped <- t.dropped + 1
+  else begin
+    t.events_rev <- ev :: t.events_rev;
+    t.n_events <- t.n_events + 1
+  end
+
+let span_open t name ~round =
+  push t (Span_open { name; round });
+  t.stack <- (name, round, t.opened) :: t.stack;
+  t.opened <- t.opened + 1
+
+let span_close t ?(attrs = []) ~round () =
+  match t.stack with
+  | [] -> invalid_arg "Trace.span_close: no open span"
+  | (name, start_round, seq) :: rest ->
+      t.stack <- rest;
+      push t (Span_close { name; round; attrs });
+      let span =
+        { name; depth = List.length rest; start_round; end_round = round; attrs }
+      in
+      t.spans_rev <- (seq, span) :: t.spans_rev
+
+let with_span tr name ~clock f =
+  match tr with
+  | None -> f ()
+  | Some t ->
+      span_open t name ~round:(clock ());
+      let finish () = span_close t ~round:(clock ()) () in
+      let result =
+        try f ()
+        with e ->
+          finish ();
+          raise e
+      in
+      finish ();
+      result
+
+let on_round t ~round ~active ~messages ~bits =
+  push t (Round { round; active; messages; bits })
+
+let on_message t ~round ~src ~dst ~bits =
+  if t.keep_messages then push t (Message { round; src; dst; bits })
+
+let note t name value ~round = push t (Note { name; value; round })
+let events t = List.rev t.events_rev
+
+let spans t =
+  List.map snd
+    (List.sort (fun (a, _) (b, _) -> compare a b) t.spans_rev)
+
+let open_spans t = List.length t.stack
+let dropped t = t.dropped
+
+let summary t =
+  (* Aggregate by name, preserving order of first appearance. *)
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun s ->
+      let r = s.end_round - s.start_round in
+      match Hashtbl.find_opt tbl s.name with
+      | None ->
+          Hashtbl.replace tbl s.name (1, r, r);
+          order := s.name :: !order
+      | Some (count, total, mx) ->
+          Hashtbl.replace tbl s.name (count + 1, total + r, max mx r))
+    (spans t);
+  List.rev_map
+    (fun name ->
+      let (count, total, mx) = Hashtbl.find tbl name in
+      (name, count, total, mx))
+    !order
+
+let pp_summary ppf t =
+  Format.fprintf ppf "@[<v>%-28s %8s %12s %10s" "phase" "spans" "span-rounds"
+    "max";
+  List.iter
+    (fun (name, count, total, mx) ->
+      Format.fprintf ppf "@ %-28s %8d %12d %10d" name count total mx)
+    (summary t);
+  if t.dropped > 0 then
+    Format.fprintf ppf "@ (journal overflowed: %d events dropped)" t.dropped;
+  if open_spans t > 0 then
+    Format.fprintf ppf "@ (%d spans left open by an aborted run)" (open_spans t);
+  Format.fprintf ppf "@]"
+
+(* JSON emission ------------------------------------------------------ *)
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let json_str b s =
+  Buffer.add_char b '"';
+  escape b s;
+  Buffer.add_char b '"'
+
+let json_field b first key emit =
+  if not !first then Buffer.add_char b ',';
+  first := false;
+  json_str b key;
+  Buffer.add_char b ':';
+  emit ()
+
+let json_attrs b attrs =
+  Buffer.add_char b '{';
+  let first = ref true in
+  List.iter
+    (fun (k, v) ->
+      json_field b first k (fun () -> Buffer.add_string b (string_of_int v)))
+    attrs;
+  Buffer.add_char b '}'
+
+let json_list b xs emit =
+  Buffer.add_char b '[';
+  let first = ref true in
+  List.iter
+    (fun x ->
+      if not !first then Buffer.add_char b ',';
+      first := false;
+      emit x)
+    xs;
+  Buffer.add_char b ']'
+
+let to_buffer ?(name = "trace") ?(meta = []) ?metrics t b =
+  Buffer.add_char b '{';
+  let first = ref true in
+  let int_field k v =
+    json_field b first k (fun () -> Buffer.add_string b (string_of_int v))
+  in
+  json_field b first "schema" (fun () -> json_str b "distplanar-trace/1");
+  json_field b first "name" (fun () -> json_str b name);
+  json_field b first "meta" (fun () -> json_attrs b meta);
+  json_field b first "spans" (fun () ->
+      json_list b (spans t) (fun s ->
+          Buffer.add_char b '{';
+          let f = ref true in
+          json_field b f "name" (fun () -> json_str b s.name);
+          json_field b f "depth" (fun () ->
+              Buffer.add_string b (string_of_int s.depth));
+          json_field b f "start" (fun () ->
+              Buffer.add_string b (string_of_int s.start_round));
+          json_field b f "end" (fun () ->
+              Buffer.add_string b (string_of_int s.end_round));
+          json_field b f "rounds" (fun () ->
+              Buffer.add_string b (string_of_int (s.end_round - s.start_round)));
+          json_field b f "attrs" (fun () -> json_attrs b s.attrs);
+          Buffer.add_char b '}'));
+  json_field b first "notes" (fun () ->
+      json_list b
+        (List.filter_map
+           (function Note { name; value; round } -> Some (name, value, round) | _ -> None)
+           (events t))
+        (fun (name, value, round) ->
+          Buffer.add_char b '{';
+          let f = ref true in
+          json_field b f "name" (fun () -> json_str b name);
+          json_field b f "value" (fun () ->
+              Buffer.add_string b (string_of_int value));
+          json_field b f "round" (fun () ->
+              Buffer.add_string b (string_of_int round));
+          Buffer.add_char b '}'));
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      json_field b first "rounds" (fun () ->
+          json_list b (Metrics.round_log m) (fun r ->
+              Buffer.add_char b '{';
+              let f = ref true in
+              json_field b f "round" (fun () ->
+                  Buffer.add_string b (string_of_int r.Metrics.round));
+              json_field b f "active" (fun () ->
+                  Buffer.add_string b (string_of_int r.Metrics.active));
+              json_field b f "messages" (fun () ->
+                  Buffer.add_string b (string_of_int r.Metrics.messages));
+              json_field b f "bits" (fun () ->
+                  Buffer.add_string b (string_of_int r.Metrics.bits));
+              Buffer.add_char b '}'));
+      json_field b first "edges" (fun () ->
+          let rows = ref [] in
+          Metrics.iter_dir m (fun ~src ~dst ~bits ~messages ~burst ->
+              rows := (src, dst, bits, messages, burst) :: !rows);
+          json_list b (List.rev !rows)
+            (fun (src, dst, bits, messages, burst) ->
+              Buffer.add_char b '{';
+              let f = ref true in
+              json_field b f "src" (fun () ->
+                  Buffer.add_string b (string_of_int src));
+              json_field b f "dst" (fun () ->
+                  Buffer.add_string b (string_of_int dst));
+              json_field b f "bits" (fun () ->
+                  Buffer.add_string b (string_of_int bits));
+              json_field b f "messages" (fun () ->
+                  Buffer.add_string b (string_of_int messages));
+              json_field b f "max_round_bits" (fun () ->
+                  Buffer.add_string b (string_of_int burst));
+              Buffer.add_char b '}')));
+  if t.keep_messages then
+    json_field b first "messages" (fun () ->
+        json_list b
+          (List.filter_map
+             (function
+               | Message { round; src; dst; bits } -> Some (round, src, dst, bits)
+               | _ -> None)
+             (events t))
+          (fun (round, src, dst, bits) ->
+            Buffer.add_char b '{';
+            let f = ref true in
+            json_field b f "round" (fun () ->
+                Buffer.add_string b (string_of_int round));
+            json_field b f "src" (fun () ->
+                Buffer.add_string b (string_of_int src));
+            json_field b f "dst" (fun () ->
+                Buffer.add_string b (string_of_int dst));
+            json_field b f "bits" (fun () ->
+                Buffer.add_string b (string_of_int bits));
+            Buffer.add_char b '}'));
+  int_field "open_spans" (open_spans t);
+  int_field "dropped_events" t.dropped;
+  Buffer.add_char b '}'
+
+let to_json_string ?name ?meta ?metrics t =
+  let b = Buffer.create 4096 in
+  to_buffer ?name ?meta ?metrics t b;
+  Buffer.contents b
+
+let write_json ?name ?meta ?metrics oc t =
+  let b = Buffer.create 65536 in
+  to_buffer ?name ?meta ?metrics t b;
+  Buffer.output_buffer oc b;
+  output_char oc '\n'

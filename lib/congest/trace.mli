@@ -1,0 +1,105 @@
+(** Structured tracing of a CONGEST execution.
+
+    A trace is an append-only journal of {e events} — named spans opened
+    and closed at simulated rounds, per-round activity records, optional
+    per-message records, and scalar notes — that decomposes a run into
+    the phases the paper argues about (leader election, the recursion
+    levels, the merge schedule of each call). {!Network.run} feeds round
+    and message events; {!Costmodel} and the embedder feed spans; the
+    result is written as a machine-readable JSON journal
+    ({!write_json}) or summarized as a per-phase table ({!pp_summary}).
+
+    Spans nest: {!span_open}/{!span_close} maintain a stack, and every
+    closed span records its name, nesting depth, start and end rounds,
+    and a list of integer attributes (recursion depth, part counts,
+    payload sizes, ...). Round numbers are supplied by the caller — the
+    trace itself holds no clock — so real simulator rounds and
+    cost-model rounds land on one timeline.
+
+    Traces are bounded: past [max_events] events the journal drops new
+    events (counted in {!dropped}) rather than growing without limit, so
+    tracing a large run degrades gracefully. *)
+
+type attr = string * int
+(** A named integer attribute attached to a span or note. *)
+
+type event =
+  | Span_open of { name : string; round : int }
+  | Span_close of { name : string; round : int; attrs : attr list }
+  | Round of { round : int; active : int; messages : int; bits : int }
+      (** One executed simulator round: how many nodes computed, how many
+          messages they sent, and the total bits of those messages. *)
+  | Message of { round : int; src : int; dst : int; bits : int }
+      (** Recorded only when the trace was created with
+          [~keep_messages:true]. *)
+  | Note of { name : string; value : int; round : int }
+
+type span = {
+  name : string;
+  depth : int;  (** nesting depth at open time (outermost = 0). *)
+  start_round : int;
+  end_round : int;
+  attrs : attr list;
+}
+
+type t
+
+val create : ?keep_messages:bool -> ?max_events:int -> unit -> t
+(** A fresh, empty trace. [keep_messages] (default [false]) records
+    every individual message — precise but heavy; [max_events] (default
+    [200_000]) bounds the journal. *)
+
+val keep_messages : t -> bool
+
+val span_open : t -> string -> round:int -> unit
+val span_close : t -> ?attrs:attr list -> round:int -> unit -> unit
+(** Close the innermost open span. @raise Invalid_argument if none. *)
+
+val with_span : t option -> string -> clock:(unit -> int) -> (unit -> 'a) -> 'a
+(** [with_span tr name ~clock f] wraps [f] in a span whose start and end
+    rounds are read from [clock]; a [None] trace runs [f] bare. The span
+    is closed even if [f] raises. *)
+
+val on_round : t -> round:int -> active:int -> messages:int -> bits:int -> unit
+val on_message : t -> round:int -> src:int -> dst:int -> bits:int -> unit
+(** No-op unless [keep_messages] was set. *)
+
+val note : t -> string -> int -> round:int -> unit
+
+val events : t -> event list
+(** All recorded events, in order. *)
+
+val spans : t -> span list
+(** Completed spans, in order of their {e open} events. *)
+
+val open_spans : t -> int
+(** Spans opened but not yet closed (non-zero after an aborted run). *)
+
+val dropped : t -> int
+(** Events discarded because the [max_events] bound was hit. *)
+
+val summary : t -> (string * int * int * int) list
+(** Per-phase aggregation of the completed spans, in order of first
+    appearance: [(name, count, total_rounds, max_rounds)] where a span
+    contributes [end_round - start_round] rounds. Parallel branches
+    overlap on the timeline, so totals are span-rounds, not wall-clock
+    rounds. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** The {!summary} as an aligned table, plus a dropped-events warning
+    when the journal overflowed. *)
+
+val write_json :
+  ?name:string ->
+  ?meta:(string * int) list ->
+  ?metrics:Metrics.t ->
+  out_channel ->
+  t ->
+  unit
+(** Emit the JSON journal (schema ["distplanar-trace/1"], documented in
+    EXPERIMENTS.md): run metadata, completed spans, notes, the per-round
+    histogram and per-directed-edge load table of [metrics] when given,
+    and individual messages when kept. *)
+
+val to_json_string :
+  ?name:string -> ?meta:(string * int) list -> ?metrics:Metrics.t -> t -> string

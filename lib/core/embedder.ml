@@ -18,6 +18,7 @@ type report = {
   retired_parts : int;
   safety_checks : int;
   iface_bits_shipped : int;
+  metrics : Metrics.t;
 }
 
 type outcome = { rotation : Rotation.t option; report : report }
@@ -44,7 +45,7 @@ let branch_max_map cost f xs =
     (List.map (fun x () -> out := (x, f x) :: !out) xs);
   List.map (fun x -> List.assq x !out) xs
 
-let run ?bandwidth ?(mode = Part.Faithful) ?(checks = false) ?base_size g =
+let run ?bandwidth ?(mode = Part.Faithful) ?(checks = false) ?base_size ?trace g =
   if Gr.n g = 0 then invalid_arg "Embedder.run: empty network";
   if not (Traverse.is_connected g) then
     invalid_arg "Embedder.run: the network must be connected";
@@ -52,53 +53,78 @@ let run ?bandwidth ?(mode = Part.Faithful) ?(checks = false) ?base_size g =
   let bandwidth =
     match bandwidth with Some b -> b | None -> Network.default_bandwidth g
   in
+  let round_clock () = Metrics.rounds metrics in
   (* Phase 1 (real protocols): leader election + BFS tree, then computing
      n over the tree — the paper's O(D) preliminaries (Section 2). *)
   let r0 = Metrics.rounds metrics in
-  let states = Proto.leader_bfs ~metrics g ~bandwidth in
+  let states =
+    Trace.with_span trace "leader-election+bfs" ~clock:round_clock (fun () ->
+        Proto.leader_bfs ~metrics ?trace g ~bandwidth)
+  in
   Metrics.phase metrics "leader-election+bfs" (Metrics.rounds metrics - r0);
   let bt = tree_of_states g states in
   let leader = bt.Traverse.root in
   let word = Part.word g in
   let r1 = Metrics.rounds metrics in
   let n_counted =
-    if Gr.n g = 1 then 1
-    else
-      Proto.convergecast ~metrics g ~bandwidth ~parent:bt.Traverse.parent
-        ~root:leader
-        ~values:(Array.make (Gr.n g) 1)
-        ~op:( + ) ~value_bits:word
+    Trace.with_span trace "count-n" ~clock:round_clock (fun () ->
+        if Gr.n g = 1 then 1
+        else
+          Proto.convergecast ~metrics ?trace g ~bandwidth
+            ~parent:bt.Traverse.parent ~root:leader
+            ~values:(Array.make (Gr.n g) 1)
+            ~op:( + ) ~value_bits:word)
   in
   assert (n_counted = Gr.n g);
   Metrics.phase metrics "count-n" (Metrics.rounds metrics - r1);
-  let cost = Costmodel.create ~bandwidth g metrics in
+  let cost =
+    Costmodel.create ~bandwidth ?trace ~round_base:(Metrics.rounds metrics) g
+      metrics
+  in
   let st = Merge.create g ~mode ~checks ~cost in
   let rec_tree = Decompose.recursion_tree ?base_size g bt in
+  Costmodel.note cost "recursion-depth" (Decompose.depth rec_tree);
+  Costmodel.note cost "recursion-calls" (Decompose.count_calls rec_tree);
   let rotation =
     try
-      let rec process call =
+      let rec process level call =
         (* The decomposition bookkeeping of one call: subtree sizes
            (convergecast), the splitter walk and the P0 numbering, all on
            the subtree's own tree edges. *)
+        Costmodel.span_open cost (Printf.sprintf "recurse.d%d" level);
         Costmodel.charge_aggregate cost ~root:call.Decompose.root
           ~parent:(fun v -> bt.Traverse.parent.(v))
           ~members:call.Decompose.vertices ~bits:word;
         Costmodel.advance cost call.Decompose.subtree_depth;
-        match call.Decompose.hanging with
-        | [] -> Merge.fresh_part st call.Decompose.p0
-        | hanging ->
-            let in_sub = Hashtbl.create (List.length call.Decompose.vertices) in
-            List.iter
-              (fun v -> Hashtbl.replace in_sub v ())
-              call.Decompose.vertices;
-            let child_ids = branch_max_map cost process hanging in
-            let outcome =
-              Schedule.run st ~p0:call.Decompose.p0 ~hanging:child_ids
-                ~in_subtree:(Hashtbl.mem in_sub)
-            in
-            outcome.Schedule.final_part
+        let part =
+          match call.Decompose.hanging with
+          | [] -> Merge.fresh_part st call.Decompose.p0
+          | hanging ->
+              let in_sub = Hashtbl.create (List.length call.Decompose.vertices) in
+              List.iter
+                (fun v -> Hashtbl.replace in_sub v ())
+                call.Decompose.vertices;
+              let child_ids = branch_max_map cost (process (level + 1)) hanging in
+              let outcome =
+                Schedule.run st ~p0:call.Decompose.p0 ~hanging:child_ids
+                  ~in_subtree:(Hashtbl.mem in_sub)
+              in
+              outcome.Schedule.final_part
+        in
+        Costmodel.span_close cost
+          ~attrs:
+            [
+              ("vertices", List.length call.Decompose.vertices);
+              ("hanging", List.length call.Decompose.hanging);
+              ("subtree_depth", call.Decompose.subtree_depth);
+            ]
+          ();
+        part
       in
-      let top = Costmodel.phase cost "recursive-embedding" (fun () -> process rec_tree) in
+      let top =
+        Costmodel.phase cost "recursive-embedding" (fun () ->
+            process 0 rec_tree)
+      in
       let final = Merge.part st top in
       (* Extract the rotation every node now holds. In Economy mode the
          final embedding is computed once here (the paper's nodes held it
@@ -137,6 +163,7 @@ let run ?bandwidth ?(mode = Part.Faithful) ?(checks = false) ?base_size g =
       retired_parts = s.Merge.retired;
       safety_checks = s.Merge.safety_checks;
       iface_bits_shipped = s.Merge.iface_bits_shipped;
+      metrics;
     }
   in
   { rotation; report }

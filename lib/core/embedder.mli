@@ -36,6 +36,10 @@ type report = {
   retired_parts : int;
   safety_checks : int;  (** E8: validated merges (checks mode only). *)
   iface_bits_shipped : int;
+  metrics : Metrics.t;
+      (** the run's full accounting — per-round records, per-directed-edge
+          loads and bursts, the largest single message — for the {!Bounds}
+          checker and the {!Trace} JSON journal. *)
 }
 
 type outcome = {
@@ -48,8 +52,13 @@ val run :
   ?mode:Part.mode ->
   ?checks:bool ->
   ?base_size:int ->
+  ?trace:Trace.t ->
   Gr.t ->
   outcome
 (** @raise Invalid_argument on an empty or disconnected network.
     [mode] defaults to [Faithful]; [checks] (default off) validates every
-    merge against the safety invariants. *)
+    merge against the safety invariants. With [trace], the run decomposes
+    into named spans on one round timeline: the phase-1 protocols
+    (per-round events from the simulator), one [recurse.d<level>] span
+    per recursion call, and one [schedule.merge] span per merge schedule,
+    with part/survivor counts as span attributes. *)

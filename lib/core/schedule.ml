@@ -47,15 +47,16 @@ let charge_concurrent st shipments =
           let prev = ref first in
           List.iter
             (fun v ->
-              let e = Gr.edge_index g !prev v in
-              let sofar = try Hashtbl.find loads e with Not_found -> 0 in
-              Hashtbl.replace loads e (sofar + bits);
+              if not (Gr.mem_edge g !prev v) then raise Not_found;
+              let key = (!prev, v) in
+              let sofar = try Hashtbl.find loads key with Not_found -> 0 in
+              Hashtbl.replace loads key (sofar + bits);
               prev := v)
             rest);
       longest := max !longest (List.length path - 1))
     shipments;
   let max_load = Hashtbl.fold (fun _ l acc -> max l acc) loads 0 in
-  Hashtbl.iter (fun e l -> Costmodel.note_edge_bits cost e l) loads;
+  Hashtbl.iter (fun (u, v) l -> Costmodel.note_dir_bits cost ~u ~v l) loads;
   let b = Costmodel.bandwidth cost in
   if !longest > 0 || max_load > 0 then
     Costmodel.advance cost (!longest + ((max_load + b - 1) / b))
@@ -64,6 +65,7 @@ let run st ~p0 ~hanging ~in_subtree =
   let cost = st.Merge.cost in
   let word = Part.word st.Merge.g in
   st.Merge.stats.Merge.calls <- st.Merge.stats.Merge.calls + 1;
+  Costmodel.span_open cost "schedule.merge";
   (* Step 0/1: create the trivial P0 part and number its vertices (the
      numbering travels down the path). *)
   let p0_part = Merge.fresh_part st p0 in
@@ -204,6 +206,7 @@ let run st ~p0 ~hanging ~in_subtree =
               | [] -> invalid_arg "Schedule.run: part lost its P0 connection")
             arr
         in
+        Costmodel.note cost "part-depth-max" (max_depth participants);
         Costmodel.advance cost
           (Symmetry.part_level_rounds * (max_depth participants + 1));
         let grouping = Symmetry.compute pg ~colors in
@@ -319,6 +322,15 @@ let run st ~p0 ~hanging ~in_subtree =
     | [ only ] -> only
     | _ -> Merge.merge st ~kind:Merge.Path_coordinated everyone
   in
+  Costmodel.span_close cost
+    ~attrs:
+      [
+        ("p0_len", List.length p0);
+        ("hanging", List.length hanging);
+        ("survivors", k);
+        ("retired", List.length !retired);
+      ]
+    ();
   {
     final_part;
     parts_at_restricted_merge = k;

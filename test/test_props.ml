@@ -1,0 +1,268 @@
+(* Property sweep over the generator families and the simulator.
+
+   Three groups:
+   - rotation validity: on every family in Gen, the embedder's verdict
+     matches the centralized DMP verdict, accepted rotations are genus-0,
+     and their face count satisfies Euler's formula [n - m + f = 2]
+     (computed independently through Dual);
+   - determinism & quiescence: running a protocol or the full embedder
+     twice on identical inputs yields bit-identical states, round counts
+     and per-round metrics, and every tier-1 family quiesces strictly
+     before the engine's round limit;
+   - delivery order: the documented inbox guarantee (sorted by sender id,
+     per-sender outbox order preserved) observed by order-sensitive
+     protocols. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Rotation validity + Euler across the families                       *)
+(* ------------------------------------------------------------------ *)
+
+let euler_holds r =
+  let g = Rotation.graph r in
+  let d = Dual.make r in
+  Gr.n g - Gr.m g + Dual.n_faces d = 2
+
+let verify_family name g =
+  let centralized = Dmp.is_planar g in
+  let o = Embedder.run g in
+  match o.Embedder.rotation with
+  | None ->
+      check_bool (name ^ ": rejection matches DMP") false centralized
+  | Some r ->
+      check_bool (name ^ ": acceptance matches DMP") true centralized;
+      check_bool (name ^ ": genus 0") true (Rotation.is_planar_embedding r);
+      check_bool (name ^ ": Euler n-m+f=2") true (euler_holds r)
+
+let fixed_families =
+  [
+    ("path 17", Gen.path 17);
+    ("cycle 24", Gen.cycle 24);
+    ("star 12", Gen.star 12);
+    ("complete 4", Gen.complete 4);
+    ("complete 5", Gen.complete 5);
+    ("K2,3", Gen.complete_bipartite 2 3);
+    ("K3,3", Gen.k33 ());
+    ("K5", Gen.k5 ());
+    ("petersen", Gen.petersen ());
+    ("wheel 9", Gen.wheel 9);
+    ("ladder 6", Gen.ladder 6);
+    ("fan 11", Gen.fan 11);
+    ("grid 4x5", Gen.grid 4 5);
+    ("triangular grid 3x4", Gen.triangular_grid 3 4);
+    ("toroidal grid 3x3", Gen.toroidal_grid 3 3);
+    ("binary tree 15", Gen.binary_tree 15);
+    ("K4 subdivision 3", Gen.k4_subdivision 3);
+    ("subdivided wheel", Gen.subdivide (Gen.wheel 6) 2);
+    ("subdivided K5", Gen.subdivide (Gen.k5 ()) 2);
+  ]
+
+let test_fixed_families () =
+  List.iter (fun (name, g) -> verify_family name g) fixed_families
+
+let seed_prop name build =
+  QCheck.Test.make ~count:12 ~name
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      verify_family (Printf.sprintf "%s seed=%d" name seed) (build seed);
+      true)
+
+let random_family_props =
+  [
+    seed_prop "random tree" (fun seed -> Gen.random_tree ~seed 20);
+    seed_prop "random maximal planar" (fun seed ->
+        Gen.random_maximal_planar ~seed 30);
+    seed_prop "random planar" (fun seed -> Gen.random_planar ~seed ~n:24 ~m:40);
+    seed_prop "random outerplanar" (fun seed ->
+        Gen.random_outerplanar ~seed ~n:20 ~chord_prob:0.5);
+    seed_prop "random connected graph" (fun seed ->
+        Gen.random_connected_graph ~seed ~n:16 ~m:24);
+  ]
+
+let test_relabelled () =
+  (* Vertex numbering must not matter: relabel a grid by a random
+     permutation and re-verify. *)
+  List.iter
+    (fun seed ->
+      let g = Gen.grid 4 6 in
+      let p = Gen.random_permutation ~seed (Gr.n g) in
+      let edges =
+        List.map (fun (u, v) -> (p.(u), p.(v))) (Gr.edges g)
+      in
+      let h = Gr.of_edges ~n:(Gr.n g) edges in
+      verify_family (Printf.sprintf "relabelled grid seed=%d" seed) h)
+    [ 1; 2; 3; 4; 5 ]
+
+(* ------------------------------------------------------------------ *)
+(* Determinism & quiescence                                            *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_equal name a b =
+  check (name ^ ": rounds") (Metrics.rounds a) (Metrics.rounds b);
+  check (name ^ ": messages") (Metrics.messages a) (Metrics.messages b);
+  check (name ^ ": total bits") (Metrics.total_bits a) (Metrics.total_bits b);
+  check (name ^ ": max message bits") (Metrics.max_message_bits a)
+    (Metrics.max_message_bits b);
+  check (name ^ ": max burst") (Metrics.max_round_edge_bits a)
+    (Metrics.max_round_edge_bits b);
+  check_bool (name ^ ": round log") true
+    (Metrics.round_log a = Metrics.round_log b)
+
+let test_protocol_deterministic () =
+  List.iter
+    (fun (name, g) ->
+      let run () =
+        let m = Metrics.create g in
+        let states = Proto.leader_bfs ~metrics:m g in
+        (states, m)
+      in
+      let (s1, m1) = run () in
+      let (s2, m2) = run () in
+      check_bool (name ^ ": identical states") true (s1 = s2);
+      metrics_equal name m1 m2)
+    [
+      ("grid 6x6", Gen.grid 6 6);
+      ("maxplanar 60", Gen.random_maximal_planar ~seed:7 60);
+      ("cycle 30", Gen.cycle 30);
+    ]
+
+let rotations_equal r1 r2 =
+  let g = Rotation.graph r1 in
+  let ok = ref true in
+  for v = 0 to Gr.n g - 1 do
+    if Rotation.rotation r1 v <> Rotation.rotation r2 v then ok := false
+  done;
+  !ok
+
+let test_embedder_deterministic () =
+  List.iter
+    (fun (name, g) ->
+      let o1 = Embedder.run g in
+      let o2 = Embedder.run g in
+      let r1 = o1.Embedder.report and r2 = o2.Embedder.report in
+      check (name ^ ": rounds") r1.Embedder.rounds r2.Embedder.rounds;
+      check (name ^ ": total bits") r1.Embedder.total_bits
+        r2.Embedder.total_bits;
+      metrics_equal name r1.Embedder.metrics r2.Embedder.metrics;
+      match (o1.Embedder.rotation, o2.Embedder.rotation) with
+      | Some a, Some b ->
+          check_bool (name ^ ": identical rotation") true (rotations_equal a b)
+      | None, None -> Alcotest.failf "%s: expected planar" name
+      | _ -> Alcotest.failf "%s: runs disagree on planarity" name)
+    [
+      ("grid 5x6", Gen.grid 5 6);
+      ("cycle 30", Gen.cycle 30);
+      ("maxplanar 80", Gen.random_maximal_planar ~seed:3 80);
+      ("K4 subdivision 4", Gen.k4_subdivision 4);
+    ]
+
+let test_quiescence () =
+  (* The engine's default limit is 16n + 64; every tier-1 family must
+     quiesce strictly below it (leader_bfs is O(D) ≪ that). *)
+  List.iter
+    (fun (name, g) ->
+      let m = Metrics.create g in
+      let _ = Proto.leader_bfs ~metrics:m g in
+      let limit = (16 * Gr.n g) + 64 in
+      check_bool
+        (Printf.sprintf "%s: quiesced (%d < %d)" name (Metrics.rounds m) limit)
+        true
+        (Metrics.rounds m < limit))
+    [
+      ("path 40", Gen.path 40);
+      ("cycle 40", Gen.cycle 40);
+      ("star 25", Gen.star 25);
+      ("grid 7x7", Gen.grid 7 7);
+      ("maxplanar 100", Gen.random_maximal_planar ~seed:11 100);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Delivery order                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Leaves of a star send their id to the center in round 0; the center
+   records its inbox verbatim. The documented guarantee says the inbox
+   arrives sorted by sender id. *)
+let collect_inbox_protocol =
+  {
+    Network.init =
+      (fun _g v -> ([], if v = 0 then [] else [ (0, v) ]));
+    round = (fun _g _v st inbox -> (st @ inbox, []));
+    msg_bits = (fun _ -> 8);
+  }
+
+let test_inbox_sorted_by_sender () =
+  let n = 12 in
+  let g = Gen.star n in
+  let states = Network.run g collect_inbox_protocol in
+  let senders = List.map fst states.(0) in
+  check_bool "every leaf heard" true
+    (List.length senders = n - 1);
+  check_bool "inbox sorted by sender id" true
+    (List.sort compare senders = senders)
+
+(* One sender, several messages in one outbox: they must arrive in the
+   order the sender listed them. *)
+let test_same_sender_order () =
+  let g = Gen.path 2 in
+  let proto =
+    {
+      Network.init =
+        (fun _g v -> ([], if v = 0 then [ (1, 10); (1, 20); (1, 30) ] else []));
+      round = (fun _g _v st inbox -> (st @ inbox, []));
+      msg_bits = (fun _ -> 8);
+    }
+  in
+  (* Three messages share the edge in round 0; give them room. *)
+  let states = Network.run ~bandwidth:64 g proto in
+  check_bool "outbox order preserved" true
+    (states.(1) = [ (0, 10); (0, 20); (0, 30) ])
+
+(* An order-observing protocol (its state folds the inbox in delivery
+   order, non-commutatively) must still be reproducible run to run. *)
+let test_order_observing_deterministic () =
+  let g = Gen.grid 5 5 in
+  let proto =
+    {
+      Network.init =
+        (fun g v ->
+          (v, List.map (fun u -> (u, v)) (Array.to_list (Gr.neighbors g v))));
+      round =
+        (fun _g _v st inbox ->
+          (* Non-commutative fold: delivery order changes the state. *)
+          (List.fold_left (fun acc (src, x) -> (acc * 31) + (src lxor x)) st inbox,
+           []));
+      msg_bits = (fun _ -> 16);
+    }
+  in
+  let s1 = Network.run g proto in
+  let s2 = Network.run g proto in
+  check_bool "order-observing states identical" true (s1 = s2)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest random_family_props in
+  Alcotest.run "props"
+    [
+      ( "rotation validity",
+        [
+          Alcotest.test_case "fixed families" `Quick test_fixed_families;
+          Alcotest.test_case "relabelled" `Quick test_relabelled;
+        ]
+        @ qcheck );
+      ( "determinism",
+        [
+          Alcotest.test_case "protocol runs" `Quick test_protocol_deterministic;
+          Alcotest.test_case "embedder runs" `Quick test_embedder_deterministic;
+          Alcotest.test_case "quiescence" `Quick test_quiescence;
+        ] );
+      ( "delivery order",
+        [
+          Alcotest.test_case "sorted by sender" `Quick
+            test_inbox_sorted_by_sender;
+          Alcotest.test_case "same-sender order" `Quick test_same_sender_order;
+          Alcotest.test_case "order-observing determinism" `Quick
+            test_order_observing_deterministic;
+        ] );
+    ]
