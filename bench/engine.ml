@@ -1,0 +1,229 @@
+(* Microbenchmark: the flat-array engine (Network.exec) against the
+   pre-redesign one (Network.run, kept as the legacy shim).
+
+   Each case runs one protocol on one graph through both engines,
+   checking the results are identical (final states, round counts,
+   per-edge metrics) and measuring wall time and allocated words of a
+   bare, unobserved run. Results go to BENCH_engine.json and stdout.
+
+     dune exec bench/engine.exe              # full sweep, grids to n=100k
+     dune exec bench/engine.exe -- --quick   # CI smoke: small grid only,
+                                             # exit 1 if exec is slower
+     dune exec bench/engine.exe -- --out F   # write the JSON to F *)
+
+[@@@alert "-legacy"]
+
+let to_all g v msg =
+  Gr.fold_neighbors g v ~init:[] ~f:(fun acc w -> (w, msg) :: acc)
+
+(* Dense activity: max-id flood, every node re-announces on improvement. *)
+let flood =
+  {
+    Network.init = (fun g v -> (v, to_all g v v));
+    round =
+      (fun g v best inbox ->
+        let best' = List.fold_left (fun acc (_, x) -> max acc x) best inbox in
+        if best' = best then (best, []) else (best', to_all g v best'));
+    msg_bits = (fun _ -> 12);
+  }
+
+(* Wavefront activity: single-source reachability, every node announces
+   exactly once, so most rounds touch only the frontier. *)
+let bfs_wave =
+  {
+    Network.init =
+      (fun g v -> if v = 0 then (true, to_all g v 1) else (false, []));
+    round =
+      (fun g v reached inbox ->
+        if reached || inbox = [] then (reached, [])
+        else (true, to_all g v 1));
+    msg_bits = (fun _ -> 8);
+  }
+
+(* Point activity: one token circling a ring — one active node and one
+   message per round, the worst case for an O(n)-per-round loop. *)
+let token_ring n ttl =
+  {
+    Network.init = (fun _g v -> ((), if v = 0 then [ (1, ttl) ] else []));
+    round =
+      (fun _g v st inbox ->
+        match inbox with
+        | [ (src, t) ] when t > 0 ->
+            let w =
+              if (v + 1) mod n = src then (v + n - 1) mod n else (v + 1) mod n
+            in
+            (st, [ (w, t - 1) ])
+        | _ -> (st, []));
+    msg_bits = (fun _ -> 16);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let words_now () =
+  let s = Gc.quick_stat () in
+  s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+
+let measure f =
+  Gc.full_major ();
+  let w0 = words_now () in
+  let t0 = Sys.time () in
+  let x = f () in
+  let t1 = Sys.time () in
+  let w1 = words_now () in
+  (x, t1 -. t0, w1 -. w0)
+
+let dir_table m =
+  let rows = ref [] in
+  Metrics.iter_dir m (fun ~src ~dst ~bits ~messages ~burst ->
+      rows := (src, dst, bits, messages, burst) :: !rows);
+  List.rev !rows
+
+type case = {
+  name : string;
+  n : int;
+  m : int;
+  rounds : int;
+  old_wall : float;
+  new_wall : float;
+  old_words : float;
+  new_words : float;
+  identical : bool;
+}
+
+let run_case name g proto =
+  (* Identity pass, observed: both engines into fresh metrics sinks. *)
+  let m_old = Metrics.create g in
+  let s_old_obs = Network.run ~bandwidth:4096 ~metrics:m_old g proto in
+  let m_new = Metrics.create g in
+  let r_obs =
+    Network.exec ~bandwidth:4096 ~observe:(Observe.of_metrics m_new) g proto
+  in
+  let identical =
+    s_old_obs = r_obs.Network.states
+    && Metrics.rounds m_old = r_obs.Network.rounds
+    && Metrics.messages m_old = Metrics.messages m_new
+    && Metrics.total_bits m_old = Metrics.total_bits m_new
+    && Metrics.max_message_bits m_old = Metrics.max_message_bits m_new
+    && Metrics.max_round_edge_bits m_old = Metrics.max_round_edge_bits m_new
+    && Metrics.round_log m_old = Metrics.round_log m_new
+    && dir_table m_old = dir_table m_new
+  in
+  (* Timing pass, bare: no sinks, engine overhead only. *)
+  let (s_old, old_wall, old_words) =
+    measure (fun () -> Network.run ~bandwidth:4096 g proto)
+  in
+  let (r_new, new_wall, new_words) =
+    measure (fun () -> Network.exec ~bandwidth:4096 g proto)
+  in
+  let identical = identical && s_old = r_new.Network.states in
+  let c =
+    {
+      name;
+      n = Gr.n g;
+      m = Gr.m g;
+      rounds = r_obs.Network.rounds;
+      old_wall;
+      new_wall;
+      old_words;
+      new_words;
+      identical;
+    }
+  in
+  Printf.printf
+    "%-28s n=%-7d rounds=%-5d  old %8.3fs %12.0fw   new %8.3fs %12.0fw   \
+     %5.1fx wall %6.1fx words  %s\n%!"
+    c.name c.n c.rounds c.old_wall c.old_words c.new_wall c.new_words
+    (c.old_wall /. max 1e-9 c.new_wall)
+    (c.old_words /. max 1. c.new_words)
+    (if c.identical then "identical" else "MISMATCH");
+  c
+
+let json_of_cases cases =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"benchmark\": \"congest-engine-old-vs-new\",\n";
+  Buffer.add_string b "  \"unit\": { \"wall\": \"seconds\", \"alloc\": \"words\" },\n";
+  Buffer.add_string b "  \"cases\": [\n";
+  List.iteri
+    (fun i c ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"name\": %S, \"n\": %d, \"m\": %d, \"rounds\": %d,\n\
+           \      \"old_wall_s\": %.6f, \"new_wall_s\": %.6f, \
+            \"wall_speedup\": %.2f,\n\
+           \      \"old_alloc_words\": %.0f, \"new_alloc_words\": %.0f, \
+            \"alloc_ratio\": %.2f,\n\
+           \      \"identical\": %b }%s\n"
+           c.name c.n c.m c.rounds c.old_wall c.new_wall
+           (c.old_wall /. max 1e-9 c.new_wall)
+           c.old_words c.new_words
+           (c.old_words /. max 1. c.new_words)
+           c.identical
+           (if i = List.length cases - 1 then "" else ",")))
+    cases;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let () =
+  let quick = ref false in
+  let out = ref "BENCH_engine.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--out" :: file :: rest ->
+        out := file;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "engine: unknown argument %s\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  (* Sequence the cases explicitly: a list literal of effectful calls
+     would evaluate (and print) right to left. *)
+  let cases =
+    if !quick then begin
+      let c1 = run_case "grid-100x100/flood" (Gen.grid 100 100) flood in
+      let c2 = run_case "grid-100x100/bfs-wave" (Gen.grid 100 100) bfs_wave in
+      let n = 10_000 in
+      let c3 =
+        run_case "cycle-10k/token-ring" (Gen.cycle n) (token_ring n 2_000)
+      in
+      [ c1; c2; c3 ]
+    end
+    else begin
+      let c1 = run_case "grid-100x100/flood" (Gen.grid 100 100) flood in
+      let c2 = run_case "grid-100x100/bfs-wave" (Gen.grid 100 100) bfs_wave in
+      let c3 = run_case "grid-250x400/flood" (Gen.grid 250 400) flood in
+      let c4 = run_case "grid-250x400/bfs-wave" (Gen.grid 250 400) bfs_wave in
+      let c5 = run_case "cycle-10k/flood" (Gen.cycle 10_000) flood in
+      let n = 100_000 in
+      let c6 =
+        run_case "cycle-100k/token-ring" (Gen.cycle n) (token_ring n 5_000)
+      in
+      [ c1; c2; c3; c4; c5; c6 ]
+    end
+  in
+  let oc = open_out !out in
+  output_string oc (json_of_cases cases);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" !out;
+  let broken = List.filter (fun c -> not c.identical) cases in
+  if broken <> [] then begin
+    List.iter
+      (fun c -> Printf.eprintf "engine: results differ on %s\n" c.name)
+      broken;
+    exit 1
+  end;
+  (* CI gate: the redesign must never lose to the engine it replaced. *)
+  let slower = List.filter (fun c -> c.new_wall > c.old_wall) cases in
+  if !quick && slower <> [] then begin
+    List.iter
+      (fun c ->
+        Printf.eprintf "engine: exec slower than legacy on %s (%.3fs vs %.3fs)\n"
+          c.name c.new_wall c.old_wall)
+      slower;
+    exit 1
+  end

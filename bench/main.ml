@@ -415,7 +415,7 @@ let trace_run file =
   let n = if !quick then 250 else 1000 in
   let g = maxplanar n in
   let tr = Trace.create () in
-  let o = Embedder.run ~mode:Part.Economy ~trace:tr g in
+  let o = Embedder.run ~mode:Part.Economy ~observe:(Observe.of_trace tr) g in
   let r = o.Embedder.report in
   let d = Traverse.diameter g in
   let meta =

@@ -250,7 +250,20 @@ let trace_cmd =
     graph_summary g;
     let d = Traverse.diameter g in
     let tr = Trace.create ~keep_messages () in
-    let o = Embedder.run ~mode ~trace:tr g in
+    let o =
+      try Embedder.run ~mode ~observe:(Observe.of_trace tr) g
+      with Network.No_quiescence { round; active; messages } ->
+        (* A protocol that never goes quiet: say where it was stuck, not
+           just that it was. *)
+        Printf.eprintf
+          "trace: no quiescence after %d rounds — %d nodes still had \
+           undelivered mail and the last round sent %d messages.\n"
+          round active messages;
+        Printf.eprintf
+          "trace: the last rounds of the journal show who kept talking:\n";
+        Format.eprintf "%a@." Trace.pp_summary tr;
+        exit 3
+    in
     let r = o.Embedder.report in
     let metrics = r.Embedder.metrics in
     Printf.printf "algorithm        : distributed recursive embedding, traced\n";

@@ -72,19 +72,23 @@ let add_dir_bits t ~u ~v ~bits =
   t.dir_bits.(d) <- t.dir_bits.(d) + bits;
   add_edge_bits_by_index t (d / 2) bits
 
-let add_message t ~u ~v ~bits =
+let add_message_at t ~dir ~bits =
   t.messages <- t.messages + 1;
-  let d = dir_index t u v in
-  t.dir_msgs.(d) <- t.dir_msgs.(d) + 1;
+  t.dir_msgs.(dir) <- t.dir_msgs.(dir) + 1;
   if bits > t.max_message_bits then t.max_message_bits <- bits;
-  add_dir_bits t ~u ~v ~bits
+  t.dir_bits.(dir) <- t.dir_bits.(dir) + bits;
+  add_edge_bits_by_index t (dir / 2) bits
+
+let add_message t ~u ~v ~bits = add_message_at t ~dir:(dir_index t u v) ~bits
 
 let record_round t ~round ~active ~messages ~bits =
   t.round_log_rev <- { round; active; messages; bits } :: t.round_log_rev
 
+let note_round_edge_at t ~dir ~bits =
+  if bits > t.dir_burst.(dir) then t.dir_burst.(dir) <- bits
+
 let note_round_edge t ~u ~v ~bits =
-  let d = dir_index t u v in
-  if bits > t.dir_burst.(d) then t.dir_burst.(d) <- bits
+  note_round_edge_at t ~dir:(dir_index t u v) ~bits
 
 let phase t name r = t.phases <- (name, r) :: t.phases
 let phases t = List.rev t.phases

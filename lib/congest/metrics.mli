@@ -70,6 +70,13 @@ val add_message : t -> u:int -> v:int -> bits:int -> unit
 (** Record one real message of [bits] bits sent from [u] to [v].
     @raise Not_found if the edge does not exist. *)
 
+val add_message_at : t -> dir:int -> bits:int -> unit
+(** {!add_message} by precomputed directed slot [dir = 2·e + s] where [e]
+    is the dense undirected edge index and [s] is [0] for the
+    min-id → max-id direction, [1] otherwise. The flat-array engine
+    derives [dir] from the dart tables in O(1) instead of re-resolving
+    the edge per message. *)
+
 val add_edge_bits_by_index : t -> int -> int -> unit
 (** Low-level variant used by the cost model when the direction is
     unknown: adds to the undirected tallies only. *)
@@ -86,6 +93,10 @@ val record_round : t -> round:int -> active:int -> messages:int -> bits:int -> u
 val note_round_edge : t -> u:int -> v:int -> bits:int -> unit
 (** Record that the directed edge [u -> v] carried [bits] bits within a
     single round (feeds the burst maxima). *)
+
+val note_round_edge_at : t -> dir:int -> bits:int -> unit
+(** {!note_round_edge} by precomputed directed slot (see
+    {!add_message_at}). *)
 
 val phase : t -> string -> int -> unit
 (** Record that a named phase consumed the given number of rounds (the

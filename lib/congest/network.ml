@@ -5,19 +5,248 @@ type ('s, 'm) protocol = {
 }
 
 exception Bandwidth_exceeded of { round : int; u : int; v : int; bits : int }
+exception No_quiescence of { round : int; active : int; messages : int }
 
 let default_bandwidth g =
   let n = max 2 (Gr.n g) in
   let rec bits_needed k acc = if k <= 1 then acc else bits_needed (k / 2) (acc + 1) in
   16 * bits_needed (n - 1) 1
 
+type report = {
+  messages : int;
+  bits : int;
+  max_message_bits : int;
+  max_round_edge_bits : int;
+  active_peak : int;
+  verdict : Bounds.verdict option;
+}
+
+type 's run_result = { states : 's array; rounds : int; report : report }
+
+(* In-place ascending heapsort of a.(0 .. k-1): the engine's worklists
+   live in preallocated buffers, so the sort must not allocate. *)
+let sort_prefix a k =
+  let swap i j =
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  in
+  let rec down i k =
+    let l = (2 * i) + 1 in
+    if l < k then begin
+      let c = if l + 1 < k && a.(l + 1) > a.(l) then l + 1 else l in
+      if a.(c) > a.(i) then begin
+        swap c i;
+        down c k
+      end
+    end
+  in
+  for i = (k / 2) - 1 downto 0 do
+    down i k
+  done;
+  for j = k - 1 downto 1 do
+    swap 0 j;
+    down 0 j
+  done
+
+(* The flat-array engine. All per-round bookkeeping lives in arrays
+   preallocated at entry and reused across rounds:
+
+   - [box.(d)]      messages in flight on dart [d] (head = most recent);
+                    a dart id is its slot in the CSR adjacency, so the
+                    in-darts of a recipient are one contiguous range
+                    ordered by sender — draining that range back-to-front
+                    yields the documented delivery order with no sort;
+   - [load.(d)]     bits pushed through dart [d] this round (the CONGEST
+                    bandwidth budget is checked against it at send time);
+   - [staged]/[has_mail]  worklist of recipients with mail, so a round
+                    costs O(active slices + messages), never O(n).
+
+   The engine itself allocates nothing per round; the only per-message
+   allocations are the in-flight cons cells and the inbox lists handed
+   to the protocol (inherent to the protocol's list-based interface). *)
+let exec ?bandwidth ?max_rounds ?(observe = Observe.none) g proto =
+  let n = Gr.n g in
+  let bandwidth =
+    match bandwidth with Some b -> b | None -> default_bandwidth g
+  in
+  let max_rounds = match max_rounds with Some r -> r | None -> (16 * n) + 64 in
+  let trace = Observe.trace observe in
+  let metrics =
+    (* A bounds request needs a metrics accumulator; conjure a private
+       one when the caller did not supply a sink. *)
+    match (Observe.metrics observe, Observe.bounds observe) with
+    | None, Some _ -> Some (Metrics.create g)
+    | m, _ -> m
+  in
+  (* Successive runs on the same metrics continue one timeline: rounds
+     already accumulated offset this run's round numbers in the round log
+     and the trace. *)
+  let base = match metrics with Some m -> Metrics.rounds m | None -> 0 in
+  let xadj = Gr.dart_offsets g in
+  let srcs = Gr.dart_sources g in
+  let dedge = Gr.dart_edges g in
+  let nd = Array.length srcs in
+  let box : 'm list array = Array.make (max 1 nd) [] in
+  let load = Array.make (max 1 nd) 0 in
+  let has_mail = Array.make (max 1 n) false in
+  let staged = Array.make (max 1 n) 0 in
+  let n_staged = ref 0 in
+  let active_buf = Array.make (max 1 n) 0 in
+  let inbox : (int * 'm) list array = Array.make (max 1 n) [] in
+  let round = ref 0 in
+  let msgs_round = ref 0 in
+  let bits_round = ref 0 in
+  let total_msgs = ref 0 in
+  let total_bits = ref 0 in
+  let max_msg_bits = ref 0 in
+  let max_burst = ref 0 in
+  let active_peak = ref 0 in
+  let send u (v, msg) =
+    let d =
+      try Gr.dart g ~src:u ~dst:v
+      with Not_found ->
+        invalid_arg
+          (Printf.sprintf "Network.run: node %d sent to non-neighbor %d" u v)
+    in
+    let bits = proto.msg_bits msg in
+    (match metrics with
+    | Some m ->
+        Metrics.add_message_at m
+          ~dir:((2 * dedge.(d)) + if u < v then 0 else 1)
+          ~bits
+    | None -> ());
+    (match trace with
+    | Some tr -> Trace.on_message tr ~round:(base + !round) ~src:u ~dst:v ~bits
+    | None -> ());
+    incr msgs_round;
+    bits_round := !bits_round + bits;
+    if bits > !max_msg_bits then max_msg_bits := bits;
+    (match box.(d) with
+    | [] ->
+        if not has_mail.(v) then begin
+          has_mail.(v) <- true;
+          staged.(!n_staged) <- v;
+          incr n_staged
+        end
+    | _ :: _ -> ());
+    box.(d) <- msg :: box.(d);
+    let now = load.(d) + bits in
+    load.(d) <- now;
+    if now > !max_burst then max_burst := now;
+    if now > bandwidth then
+      raise (Bandwidth_exceeded { round = !round; u; v; bits = now })
+  in
+  (* Close the books on the round just computed: per-dart burst maxima
+     (every loaded dart's head is a staged recipient, so scanning the
+     staged slices covers exactly the loaded darts), the round record,
+     and the engine's own flat counters. *)
+  let commit_round ~active =
+    (match metrics with
+    | Some m ->
+        for i = 0 to !n_staged - 1 do
+          let v = staged.(i) in
+          for d = xadj.(v) to xadj.(v + 1) - 1 do
+            if load.(d) > 0 then
+              Metrics.note_round_edge_at m
+                ~dir:((2 * dedge.(d)) + if srcs.(d) < v then 0 else 1)
+                ~bits:load.(d)
+          done
+        done;
+        Metrics.record_round m ~round:(base + !round) ~active
+          ~messages:!msgs_round ~bits:!bits_round
+    | None -> ());
+    (match trace with
+    | Some tr ->
+        Trace.on_round tr ~round:(base + !round) ~active ~messages:!msgs_round
+          ~bits:!bits_round
+    | None -> ());
+    if active > !active_peak then active_peak := active;
+    total_msgs := !total_msgs + !msgs_round;
+    total_bits := !total_bits + !bits_round
+  in
+  let states =
+    Array.init n (fun v ->
+        let (s, out) = proto.init g v in
+        List.iter (send v) out;
+        s)
+  in
+  (* Round 0's spontaneous sends are checked and counted too; every node
+     ran its init, so all n nodes are active. *)
+  if !msgs_round > 0 then commit_round ~active:n;
+  while !n_staged > 0 do
+    if !round >= max_rounds then
+      raise
+        (No_quiescence
+           { round = !round; active = !n_staged; messages = !msgs_round });
+    incr round;
+    (* Deliver: drain each staged recipient's in-dart range back-to-front
+       into its inbox list — sorted by sender id by construction, with a
+       sender's own messages kept in outbox order — and reset the dart
+       state for the sends of this round. *)
+    let k = !n_staged in
+    Array.blit staged 0 active_buf 0 k;
+    sort_prefix active_buf k;
+    n_staged := 0;
+    for i = 0 to k - 1 do
+      let v = active_buf.(i) in
+      has_mail.(v) <- false;
+      let acc = ref [] in
+      for d = xadj.(v + 1) - 1 downto xadj.(v) do
+        (match box.(d) with
+        | [] -> ()
+        | msgs ->
+            let u = srcs.(d) in
+            List.iter (fun m -> acc := (u, m) :: !acc) msgs;
+            box.(d) <- []);
+        load.(d) <- 0
+      done;
+      inbox.(v) <- !acc
+    done;
+    msgs_round := 0;
+    bits_round := 0;
+    (* Compute: only the recipients run, in ascending id order, so
+       metrics/trace record messages in the same order as the legacy
+       engine's whole-network scan. *)
+    for i = 0 to k - 1 do
+      let v = active_buf.(i) in
+      let (s, out) = proto.round g v states.(v) inbox.(v) in
+      inbox.(v) <- [];
+      states.(v) <- s;
+      List.iter (send v) out
+    done;
+    commit_round ~active:k
+  done;
+  (match metrics with Some m -> Metrics.add_rounds m !round | None -> ());
+  let verdict =
+    match (Observe.bounds observe, metrics) with
+    | Some b, Some m ->
+        Some
+          (Bounds.check ?c_rounds:b.Observe.c_rounds ?c_bits:b.Observe.c_bits
+             ~bandwidth ~n ~d:b.Observe.d m)
+    | _ -> None
+  in
+  {
+    states;
+    rounds = !round;
+    report =
+      {
+        messages = !total_msgs;
+        bits = !total_bits;
+        max_message_bits = !max_msg_bits;
+        max_round_edge_bits = !max_burst;
+        active_peak = !active_peak;
+        verdict;
+      };
+  }
+
+(* The pre-redesign engine, kept verbatim as the deprecated shim: the
+   differential tests and bench/engine.ml run it side by side with
+   [exec] to pin the new engine to the old semantics bit for bit. *)
 let run ?bandwidth ?max_rounds ?metrics ?trace g proto =
   let n = Gr.n g in
   let bandwidth = match bandwidth with Some b -> b | None -> default_bandwidth g in
   let max_rounds = match max_rounds with Some r -> r | None -> (16 * n) + 64 in
-  (* Successive runs on the same metrics continue one timeline: rounds
-     already accumulated offset this run's round numbers in the round log
-     and the trace. *)
   let base = match metrics with Some m -> Metrics.rounds m | None -> 0 in
   let inits = Array.init n (fun v -> proto.init g v) in
   let states = Array.map fst inits in
@@ -35,8 +264,6 @@ let run ?bandwidth ?max_rounds ?metrics ?trace g proto =
     | None -> ());
     bits
   in
-  (* Check the per-directed-edge, per-round bandwidth budget of this
-     round's sends, record them, and commit the round's activity record. *)
   let commit_round round ~active outs =
     let per_edge = Hashtbl.create 64 in
     let msgs = ref 0 and bits_total = ref 0 in
@@ -71,17 +298,11 @@ let run ?bandwidth ?max_rounds ?metrics ?trace g proto =
   in
   let round = ref 0 in
   let some_sent = ref (Array.exists (fun out -> out <> []) outboxes) in
-  (* Round 0's spontaneous sends are checked and counted too; every node
-     ran its init, so all n nodes are active. *)
   if !some_sent then commit_round 0 ~active:n outboxes;
   while !some_sent do
     if !round >= max_rounds then
       failwith "Network.run: no quiescence before max_rounds";
     incr round;
-    (* Deliver: inbox of v = messages addressed to v last round, sorted by
-       sender id (ascending); a sender's own messages keep their outbox
-       order. The sort makes delivery order a guarantee of the model
-       rather than an accident of the engine's loop direction. *)
     let inboxes = Array.make n [] in
     Array.iteri
       (fun u out ->

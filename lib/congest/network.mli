@@ -11,7 +11,16 @@
     any message. Nodes in a real deployment would detect termination with
     standard echo techniques at the same asymptotic cost; the simulator
     plays the global observer, which is the usual convention for measuring
-    round complexity. *)
+    round complexity.
+
+    The entry point is {!exec}: a flat-array engine over the graph's dart
+    tables ({!Gr.dart_offsets}) whose round loop allocates nothing beyond
+    the message lists the protocol interface requires, and whose per-round
+    cost is [O(active + messages)] rather than [O(n)]. Observation —
+    metrics, tracing, bound checking — is requested through one
+    {!Observe.t} sink. The pre-redesign {!run} remains as a deprecated
+    shim with the old per-round-hashtable implementation; it exists so the
+    differential tests can pin [exec] to the historical semantics. *)
 
 type ('s, 'm) protocol = {
   init : Gr.t -> int -> 's * (int * 'm) list;
@@ -31,9 +40,51 @@ type ('s, 'm) protocol = {
 
 exception Bandwidth_exceeded of { round : int; u : int; v : int; bits : int }
 
+exception No_quiescence of { round : int; active : int; messages : int }
+(** Raised by {!exec} when [max_rounds] elapse without quiescence:
+    [round] is the livelock guard's limit, [active] the number of nodes
+    still holding undelivered mail, [messages] the number of messages
+    sent in the last executed round — enough to tell a protocol that
+    never converges from one that is merely slow. *)
+
 val default_bandwidth : Gr.t -> int
 (** [16 * ceil(log2 n)] bits — the [O(log n)] budget with an explicit
     constant, recorded in every experiment output. *)
+
+type report = {
+  messages : int;  (** messages sent across the whole run. *)
+  bits : int;  (** total bits of those messages. *)
+  max_message_bits : int;  (** largest single message. *)
+  max_round_edge_bits : int;
+      (** largest per-directed-edge load within one round — the value the
+          bandwidth budget was checked against. *)
+  active_peak : int;  (** most nodes computing in any one round. *)
+  verdict : Bounds.verdict option;
+      (** present iff the observer carried a bounds request. *)
+}
+(** The engine's own summary of a run, tallied from flat counters
+    independently of any {!Metrics.t} sink — available even under
+    {!Observe.none}. *)
+
+type 's run_result = { states : 's array; rounds : int; report : report }
+
+val exec :
+  ?bandwidth:int ->
+  ?max_rounds:int ->
+  ?observe:Observe.t ->
+  Gr.t ->
+  ('s, 'm) protocol ->
+  's run_result
+(** Run to quiescence. The final states, the executed round count and
+    the {!report} come back together; everything else — a metrics
+    accumulator, a trace journal, a bounds verdict — is requested via
+    [observe] (default {!Observe.none}). Successive runs on the same
+    metrics sink continue one round timeline: this run's round numbers
+    are offset by [Metrics.rounds] at entry.
+    @raise Bandwidth_exceeded when a node over-sends on an edge.
+    @raise No_quiescence if [max_rounds] (default [16 * n + 64]) elapse
+    without quiescence — a livelock guard for buggy protocols.
+    @raise Invalid_argument if a node addresses a non-neighbor. *)
 
 val run :
   ?bandwidth:int ->
@@ -43,12 +94,16 @@ val run :
   Gr.t ->
   ('s, 'm) protocol ->
   's array
-(** Run to quiescence and return the final states. Metrics (rounds,
-    messages, per-edge and per-round records) accumulate into [metrics]
-    when given; per-round (and, if kept, per-message) events are appended
-    to [trace]. Successive runs on the same metrics continue one round
-    timeline: this run's round numbers are offset by [Metrics.rounds] at
-    entry.
+  [@@alert
+    legacy
+      "Network.run is the pre-redesign engine kept for differential \
+       testing; use Network.exec, which returns a run_result and takes an \
+       Observe.t sink."]
+(** The pre-redesign entry point, semantics preserved exactly (including
+    its per-round hashtable implementation): returns bare final states,
+    takes separate [?metrics]/[?trace] sinks, and signals a livelock by
+    [Failure] rather than {!No_quiescence}. Kept only so tests and
+    benchmarks can run old and new engines side by side.
     @raise Bandwidth_exceeded when a node over-sends on an edge.
     @raise Failure if [max_rounds] (default [16 * n + 64]) elapse without
-    quiescence — a livelock guard for buggy protocols. *)
+    quiescence. *)

@@ -5,12 +5,13 @@ let word_of g =
   let rec bits_needed k acc = if k <= 1 then acc else bits_needed (k / 2) (acc + 1) in
   bits_needed (n - 1) 1
 
-let leader_bfs ?metrics ?bandwidth ?trace g =
+let leader_bfs ?observe ?bandwidth g =
   if Gr.n g = 0 then invalid_arg "Proto.leader_bfs: empty network";
   let word = word_of g in
   let announce g v st =
-    Array.to_list
-      (Array.map (fun w -> (w, (st.leader, st.dist))) (Gr.neighbors g v))
+    List.rev
+      (Gr.fold_neighbors g v ~init:[] ~f:(fun acc w ->
+           (w, (st.leader, st.dist)) :: acc))
   in
   let proto =
     {
@@ -33,7 +34,7 @@ let leader_bfs ?metrics ?bandwidth ?trace g =
       msg_bits = (fun (_root, _d) -> 2 * word);
     }
   in
-  Network.run ?metrics ?bandwidth ?trace g proto
+  (Network.exec ?bandwidth ?observe g proto).Network.states
 
 (* Convergecast over an explicitly given tree. Each node knows its child
    count (in a real network, children identify themselves during the BFS
@@ -48,7 +49,7 @@ let children_counts n parent root =
     parent;
   cnt
 
-let convergecast ?metrics ?bandwidth ?trace g ~parent ~root ~values ~op ~value_bits =
+let convergecast ?observe ?bandwidth g ~parent ~root ~values ~op ~value_bits =
   let n = Gr.n g in
   if Array.length parent <> n || Array.length values <> n then
     invalid_arg "Proto.convergecast: bad arrays";
@@ -77,10 +78,10 @@ let convergecast ?metrics ?bandwidth ?trace g ~parent ~root ~values ~op ~value_b
       msg_bits = (fun _ -> value_bits);
     }
   in
-  let states = Network.run ?metrics ?bandwidth ?trace g proto in
-  states.(root).acc
+  let r = Network.exec ?bandwidth ?observe g proto in
+  r.Network.states.(root).acc
 
-let subtree_sizes ?metrics ?bandwidth ?trace g ~parent ~root =
+let subtree_sizes ?observe ?bandwidth g ~parent ~root =
   let n = Gr.n g in
   if Array.length parent <> n then invalid_arg "Proto.subtree_sizes: bad parent";
   let word = word_of g in
@@ -109,10 +110,10 @@ let subtree_sizes ?metrics ?bandwidth ?trace g ~parent ~root =
       msg_bits = (fun _ -> word);
     }
   in
-  let states = Network.run ?metrics ?bandwidth ?trace g proto in
-  Array.map (fun st -> st.acc) states
+  let r = Network.exec ?bandwidth ?observe g proto in
+  Array.map (fun st -> st.acc) r.Network.states
 
-let broadcast ?metrics ?bandwidth ?trace g ~parent ~root ~value ~value_bits =
+let broadcast ?observe ?bandwidth g ~parent ~root ~value ~value_bits =
   let n = Gr.n g in
   if Array.length parent <> n then invalid_arg "Proto.broadcast: bad parent";
   let kids = Array.make n [] in
@@ -133,5 +134,7 @@ let broadcast ?metrics ?bandwidth ?trace g ~parent ~root ~value ~value_bits =
       msg_bits = (fun _ -> value_bits);
     }
   in
-  let states = Network.run ?metrics ?bandwidth ?trace g proto in
-  Array.map (function Some x -> x | None -> invalid_arg "Proto.broadcast: unreached node") states
+  let r = Network.exec ?bandwidth ?observe g proto in
+  Array.map
+    (function Some x -> x | None -> invalid_arg "Proto.broadcast: unreached node")
+    r.Network.states

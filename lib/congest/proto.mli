@@ -4,7 +4,12 @@
     nothing but their own id and their neighbors' ids, the nodes elect the
     maximum-id vertex as the root [s*], build a BFS tree rooted there, and
     aggregate values (e.g. the node count [n]) over it. Each is checked
-    against its centralized counterpart in the test suite. *)
+    against its centralized counterpart in the test suite.
+
+    All entry points run on {!Network.exec} and accept one unified
+    [?observe] sink ({!Observe.t}): pass [Observe.of_metrics m] /
+    [Observe.of_trace tr] / [Observe.make ~metrics ~trace ()] where the
+    pre-redesign API took separate [?metrics] and [?trace] arguments. *)
 
 type bfs_state = {
   leader : int;  (** maximum id in the network. *)
@@ -13,15 +18,14 @@ type bfs_state = {
 }
 
 val leader_bfs :
-  ?metrics:Metrics.t -> ?bandwidth:int -> ?trace:Trace.t -> Gr.t -> bfs_state array
+  ?observe:Observe.t -> ?bandwidth:int -> Gr.t -> bfs_state array
 (** Flood the maximum id while relaxing distances: quiesces in [O(D)]
     rounds with every node knowing the leader, its BFS distance and a BFS
     parent. The network must be connected and non-empty. *)
 
 val convergecast :
-  ?metrics:Metrics.t ->
+  ?observe:Observe.t ->
   ?bandwidth:int ->
-  ?trace:Trace.t ->
   Gr.t ->
   parent:int array ->
   root:int ->
@@ -34,9 +38,8 @@ val convergecast :
     returns the root's total after [depth] rounds. *)
 
 val subtree_sizes :
-  ?metrics:Metrics.t ->
+  ?observe:Observe.t ->
   ?bandwidth:int ->
-  ?trace:Trace.t ->
   Gr.t ->
   parent:int array ->
   root:int ->
@@ -46,9 +49,8 @@ val subtree_sizes :
     which each node retains its accumulated count. Takes [depth] rounds. *)
 
 val broadcast :
-  ?metrics:Metrics.t ->
+  ?observe:Observe.t ->
   ?bandwidth:int ->
-  ?trace:Trace.t ->
   Gr.t ->
   parent:int array ->
   root:int ->

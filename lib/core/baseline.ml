@@ -21,7 +21,7 @@ let run ?bandwidth g =
     match bandwidth with Some b -> b | None -> Network.default_bandwidth g
   in
   let r0 = Metrics.rounds metrics in
-  let states = Proto.leader_bfs ~metrics ~bandwidth g in
+  let states = Proto.leader_bfs ~observe:(Observe.of_metrics metrics) ~bandwidth g in
   Metrics.phase metrics "leader-election+bfs" (Metrics.rounds metrics - r0);
   let leader = states.(0).Proto.leader in
   let parent = Array.map (fun s -> s.Proto.parent) states in
@@ -36,9 +36,8 @@ let run ?bandwidth g =
         ~members
         ~bits_of:(fun v ->
           let higher =
-            Array.fold_left
-              (fun acc w -> if w > v then acc + 1 else acc)
-              0 (Gr.neighbors g v)
+            Gr.fold_neighbors g v ~init:0 ~f:(fun acc w ->
+                if w > v then acc + 1 else acc)
           in
           2 * word * higher));
   (* The leader solves planarity locally (free computation in CONGEST). *)

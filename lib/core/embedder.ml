@@ -45,11 +45,20 @@ let branch_max_map cost f xs =
     (List.map (fun x () -> out := (x, f x) :: !out) xs);
   List.map (fun x -> List.assq x !out) xs
 
-let run ?bandwidth ?(mode = Part.Faithful) ?(checks = false) ?base_size ?trace g =
+let run ?bandwidth ?(mode = Part.Faithful) ?(checks = false) ?base_size
+    ?(observe = Observe.none) g =
   if Gr.n g = 0 then invalid_arg "Embedder.run: empty network";
   if not (Traverse.is_connected g) then
     invalid_arg "Embedder.run: the network must be connected";
-  let metrics = Metrics.create g in
+  (* The embedder threads one metrics timeline through several protocol
+     runs and the cost model, then checks bounds post-hoc — so it adopts
+     the observer's metrics sink (or makes its own) and forwards only the
+     sinks, never a per-run bounds request, to the protocols below. *)
+  let metrics =
+    match Observe.metrics observe with Some m -> m | None -> Metrics.create g
+  in
+  let trace = Observe.trace observe in
+  let sinks = Observe.make ~metrics ?trace () in
   let bandwidth =
     match bandwidth with Some b -> b | None -> Network.default_bandwidth g
   in
@@ -59,7 +68,7 @@ let run ?bandwidth ?(mode = Part.Faithful) ?(checks = false) ?base_size ?trace g
   let r0 = Metrics.rounds metrics in
   let states =
     Trace.with_span trace "leader-election+bfs" ~clock:round_clock (fun () ->
-        Proto.leader_bfs ~metrics ?trace g ~bandwidth)
+        Proto.leader_bfs ~observe:sinks g ~bandwidth)
   in
   Metrics.phase metrics "leader-election+bfs" (Metrics.rounds metrics - r0);
   let bt = tree_of_states g states in
@@ -70,7 +79,7 @@ let run ?bandwidth ?(mode = Part.Faithful) ?(checks = false) ?base_size ?trace g
     Trace.with_span trace "count-n" ~clock:round_clock (fun () ->
         if Gr.n g = 1 then 1
         else
-          Proto.convergecast ~metrics ?trace g ~bandwidth
+          Proto.convergecast ~observe:sinks g ~bandwidth
             ~parent:bt.Traverse.parent ~root:leader
             ~values:(Array.make (Gr.n g) 1)
             ~op:( + ) ~value_bits:word)

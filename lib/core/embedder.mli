@@ -52,13 +52,20 @@ val run :
   ?mode:Part.mode ->
   ?checks:bool ->
   ?base_size:int ->
-  ?trace:Trace.t ->
+  ?observe:Observe.t ->
   Gr.t ->
   outcome
 (** @raise Invalid_argument on an empty or disconnected network.
     [mode] defaults to [Faithful]; [checks] (default off) validates every
-    merge against the safety invariants. With [trace], the run decomposes
-    into named spans on one round timeline: the phase-1 protocols
-    (per-round events from the simulator), one [recurse.d<level>] span
-    per recursion call, and one [schedule.merge] span per merge schedule,
-    with part/survivor counts as span attributes. *)
+    merge against the safety invariants.
+
+    Observation goes through the one [observe] sink: a metrics sink
+    there becomes the run's accounting (and is returned in the report;
+    otherwise the embedder creates its own), and a trace sink makes the
+    run decompose into named spans on one round timeline: the phase-1
+    protocols (per-round events from the simulator), one
+    [recurse.d<level>] span per recursion call, and one [schedule.merge]
+    span per merge schedule, with part/survivor counts as span
+    attributes. A bounds request inside [observe] is ignored — the
+    embedder spans several protocol runs plus the cost model, so check
+    {!Bounds} post-hoc on the report's metrics. *)

@@ -118,9 +118,8 @@ let connecting_edge t ~from_part ~to_part =
     | [] -> raise Not_found
     | v :: rest -> (
         let hit = ref None in
-        Array.iter
-          (fun w -> if !hit = None && t.part_of.(w) = to_part then hit := Some w)
-          (Gr.neighbors t.g v);
+        Gr.iter_neighbors t.g v (fun w ->
+            if !hit = None && t.part_of.(w) = to_part then hit := Some w);
         match !hit with Some w -> (v, w) | None -> scan rest)
   in
   scan p.Part.vertices
@@ -130,11 +129,9 @@ let adjacent_parts t id =
   let seen = Hashtbl.create 8 in
   List.iter
     (fun v ->
-      Array.iter
-        (fun w ->
+      Gr.iter_neighbors t.g v (fun w ->
           let q = t.part_of.(w) in
-          if q >= 0 && q <> id then Hashtbl.replace seen q ())
-        (Gr.neighbors t.g v))
+          if q >= 0 && q <> id then Hashtbl.replace seen q ()))
     p.Part.vertices;
   Hashtbl.fold (fun q () acc -> q :: acc) seen []
 

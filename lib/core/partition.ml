@@ -41,9 +41,8 @@ let half_edges g ~part_of id =
   Array.iteri
     (fun v p ->
       if p = id then
-        Array.iter
-          (fun w -> if part_of.(w) <> id then out := (v, w) :: !out)
-          (Gr.neighbors g v))
+        Gr.iter_neighbors g v (fun w ->
+            if part_of.(w) <> id then out := (v, w) :: !out))
     part_of;
   List.rev !out
 

@@ -10,8 +10,7 @@ let check_proper g colors =
 (* Pointer of u: the smallest-colored neighbor with a color below u's own
    (ties on color broken by id). None at local color minima. *)
 let pointer g colors u =
-  Array.fold_left
-    (fun acc w ->
+  Gr.fold_neighbors g u ~init:None ~f:(fun acc w ->
       if colors.(w) < colors.(u) then
         match acc with
         | Some b
@@ -20,7 +19,6 @@ let pointer g colors u =
             acc
         | Some _ | None -> Some w
       else acc)
-    None (Gr.neighbors g u)
 
 let compute g ~colors =
   let n = Gr.n g in
@@ -70,8 +68,7 @@ let compute g ~colors =
           | Some _ | None -> (
               (* The preferred target joined a star; settle for any other
                  smaller-colored free neighbor. *)
-              Array.fold_left
-                (fun acc w ->
+              Gr.fold_neighbors g u ~init:None ~f:(fun acc w ->
                   if
                     (not in_star.(w))
                     && colors.(w) < colors.(u)
@@ -79,8 +76,7 @@ let compute g ~colors =
                        | Some b -> colors.(w) < colors.(b)
                        | None -> true)
                   then Some w
-                  else acc)
-                None (Gr.neighbors g u)))
+                  else acc)))
   in
   let chosen_in = Array.make n (-1) in
   for u = 0 to n - 1 do

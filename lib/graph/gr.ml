@@ -1,11 +1,22 @@
 type edge = int * int
 
+(* The core representation is CSR (compressed sparse row): [xadj] holds
+   the n+1 slice offsets, [adjncy] the 2m neighbor ids (each slice
+   sorted ascending). A {e dart} is a directed edge; its dense id is its
+   slot in [adjncy], so the darts pointing {e into} a vertex [v] are the
+   contiguous range [xadj.(v) .. xadj.(v+1) - 1], ordered by source id —
+   exactly the delivery order the CONGEST engine guarantees.
+   [dart_uedge] maps each dart to the dense index of its undirected edge
+   in [edge_list]. [adj] materializes the per-vertex neighbor arrays for
+   the legacy [neighbors] accessor (owned by the graph, like the CSR
+   arrays). *)
 type t = {
   n : int;
-  adj : int array array;
+  xadj : int array;
+  adjncy : int array;
+  dart_uedge : int array;
   edge_list : edge array;
-  (* Maps a normalized edge to its dense index in [edge_list]. *)
-  edge_idx : (edge, int) Hashtbl.t;
+  adj : int array array;
 }
 
 let normalize_edge u v =
@@ -17,42 +28,96 @@ let check_vertex n v =
     invalid_arg (Printf.sprintf "Gr: vertex %d out of range [0, %d)" v n)
 
 let of_edges ~n edges =
-  let seen = Hashtbl.create (List.length edges) in
-  let add (u, v) =
-    check_vertex n u;
-    check_vertex n v;
-    let e = normalize_edge u v in
-    if not (Hashtbl.mem seen e) then Hashtbl.replace seen e ()
+  let raw =
+    Array.of_list
+      (List.map
+         (fun (u, v) ->
+           check_vertex n u;
+           check_vertex n v;
+           normalize_edge u v)
+         edges)
   in
-  List.iter add edges;
-  let edge_list = Hashtbl.fold (fun e () acc -> e :: acc) seen [] in
-  let edge_list = Array.of_list (List.sort compare edge_list) in
-  let deg = Array.make n 0 in
+  Array.sort compare raw;
+  let m =
+    let cnt = ref 0 in
+    Array.iteri
+      (fun i e -> if i = 0 || raw.(i - 1) <> e then incr cnt)
+      raw;
+    !cnt
+  in
+  let edge_list = Array.make m (0, 0) in
+  let j = ref 0 in
+  Array.iteri
+    (fun i e ->
+      if i = 0 || raw.(i - 1) <> e then begin
+        edge_list.(!j) <- e;
+        incr j
+      end)
+    raw;
+  let xadj = Array.make (n + 1) 0 in
   Array.iter
     (fun (u, v) ->
-      deg.(u) <- deg.(u) + 1;
-      deg.(v) <- deg.(v) + 1)
+      xadj.(u + 1) <- xadj.(u + 1) + 1;
+      xadj.(v + 1) <- xadj.(v + 1) + 1)
     edge_list;
-  let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
-  let fill = Array.make n 0 in
-  Array.iter
-    (fun (u, v) ->
-      adj.(u).(fill.(u)) <- v;
+  for v = 0 to n - 1 do
+    xadj.(v + 1) <- xadj.(v + 1) + xadj.(v)
+  done;
+  let nd = xadj.(n) in
+  let adjncy = Array.make nd 0 in
+  let dart_uedge = Array.make nd 0 in
+  let fill = Array.sub xadj 0 n in
+  (* [edge_list] is lex-sorted, so each slice comes out sorted: vertex
+     [v] first receives its lower neighbors (edges [(u, v)], increasing
+     [u]), then its higher neighbors (edges [(v, w)], increasing [w]). *)
+  Array.iteri
+    (fun e (u, v) ->
+      adjncy.(fill.(u)) <- v;
+      dart_uedge.(fill.(u)) <- e;
       fill.(u) <- fill.(u) + 1;
-      adj.(v).(fill.(v)) <- u;
+      adjncy.(fill.(v)) <- u;
+      dart_uedge.(fill.(v)) <- e;
       fill.(v) <- fill.(v) + 1)
     edge_list;
-  Array.iter (fun a -> Array.sort compare a) adj;
-  let edge_idx = Hashtbl.create (Array.length edge_list) in
-  Array.iteri (fun i e -> Hashtbl.replace edge_idx e i) edge_list;
-  { n; adj; edge_list; edge_idx }
+  let adj =
+    Array.init n (fun v -> Array.sub adjncy xadj.(v) (xadj.(v + 1) - xadj.(v)))
+  in
+  { n; xadj; adjncy; dart_uedge; edge_list; adj }
 
 let empty n = of_edges ~n []
 let n t = t.n
 let m t = Array.length t.edge_list
-let degree t v = Array.length t.adj.(v)
+let degree t v = t.xadj.(v + 1) - t.xadj.(v)
 let neighbors t v = t.adj.(v)
-let mem_edge t u v = u <> v && Hashtbl.mem t.edge_idx (normalize_edge u v)
+
+let iter_neighbors t v f =
+  for i = t.xadj.(v) to t.xadj.(v + 1) - 1 do
+    f t.adjncy.(i)
+  done
+
+let fold_neighbors t v ~init ~f =
+  let acc = ref init in
+  for i = t.xadj.(v) to t.xadj.(v + 1) - 1 do
+    acc := f !acc t.adjncy.(i)
+  done;
+  !acc
+
+(* Slot of [x] in the sorted CSR slice [lo, hi) of [a], or -1. *)
+let rec slice_find a lo hi x =
+  if lo >= hi then -1
+  else begin
+    let mid = (lo + hi) / 2 in
+    let y = a.(mid) in
+    if y = x then mid
+    else if y < x then slice_find a (mid + 1) hi x
+    else slice_find a lo mid x
+  end
+
+let mem_edge t u v =
+  u <> v
+  && u >= 0 && v >= 0 && u < t.n && v < t.n
+  && slice_find t.adjncy t.xadj.(v) t.xadj.(v + 1) u >= 0
+
 let edges t = Array.to_list t.edge_list
 let iter_edges t f = Array.iter (fun (u, v) -> f u v) t.edge_list
 
@@ -63,7 +128,26 @@ let fold_vertices t ~init ~f =
   done;
   !acc
 
-let edge_index t u v = Hashtbl.find t.edge_idx (normalize_edge u v)
+let darts t = Array.length t.adjncy
+
+let dart t ~src ~dst =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n || src = dst then
+    raise Not_found;
+  let i = slice_find t.adjncy t.xadj.(dst) t.xadj.(dst + 1) src in
+  if i < 0 then raise Not_found;
+  i
+
+let dart_src t d = t.adjncy.(d)
+let dart_edge t d = t.dart_uedge.(d)
+let dart_offsets t = t.xadj
+let dart_sources t = t.adjncy
+let dart_edges t = t.dart_uedge
+
+let edge_index t u v =
+  (* Self-loops are an [Invalid_argument], as they always were. *)
+  ignore (normalize_edge u v : edge);
+  t.dart_uedge.(dart t ~src:u ~dst:v)
+
 let edge_of_index t i = t.edge_list.(i)
 
 let induced t vs =

@@ -39,7 +39,17 @@ val m : t -> int
 val degree : t -> int -> int
 val neighbors : t -> int -> int array
 (** Neighbors of a vertex in increasing order. The returned array is owned
-    by the graph; callers must not mutate it. *)
+    by the graph; callers must not mutate it. Callers that only iterate
+    should prefer {!iter_neighbors} / {!fold_neighbors}, which expose no
+    mutable escape hatch and allocate nothing. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** [iter_neighbors g v f] applies [f] to each neighbor of [v] in
+    increasing order. Allocates nothing. *)
+
+val fold_neighbors : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** [fold_neighbors g v ~init ~f] folds over the neighbors of [v] in
+    increasing order. Allocates nothing beyond what [f] allocates. *)
 
 val mem_edge : t -> int -> int -> bool
 val edges : t -> edge list
@@ -57,6 +67,42 @@ val edge_index : t -> int -> int -> int
     endpoint order. @raise Not_found if the edge is absent. *)
 
 val edge_of_index : t -> int -> edge
+
+(** {1 Darts (directed edges)}
+
+    A {e dart} is a directed edge [src -> dst] with a dense id in
+    [0 .. darts g - 1]. Ids are grouped by head: the darts pointing into
+    [dst] occupy the contiguous range
+    [dart_offsets.(dst) .. dart_offsets.(dst+1) - 1], ordered by source
+    id ascending — which is exactly the CONGEST engine's documented
+    per-round delivery order, so the engine's flat per-dart accounting
+    arrays double as sorted inboxes. *)
+
+val darts : t -> int
+(** Number of darts: [2 * m]. *)
+
+val dart : t -> src:int -> dst:int -> int
+(** The dense id of the dart [src -> dst], in [O(log (degree dst))] with
+    no allocation. @raise Not_found if [{src, dst}] is not an edge. *)
+
+val dart_src : t -> int -> int
+(** The source endpoint of a dart. *)
+
+val dart_edge : t -> int -> int
+(** The dense {e undirected} edge index ({!edge_index}) under a dart. *)
+
+val dart_offsets : t -> int array
+(** The CSR offsets ([n + 1] entries): the in-darts of [v] are the slots
+    [dart_offsets.(v) .. dart_offsets.(v+1) - 1]. Owned by the graph;
+    callers must not mutate. *)
+
+val dart_sources : t -> int array
+(** [dart_sources.(d)] is {!dart_src}[ g d], as a flat array for hot
+    loops. Owned by the graph; callers must not mutate. *)
+
+val dart_edges : t -> int array
+(** [dart_edges.(d)] is {!dart_edge}[ g d], as a flat array for hot
+    loops. Owned by the graph; callers must not mutate. *)
 
 (** {1 Derived graphs} *)
 

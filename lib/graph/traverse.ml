@@ -19,14 +19,12 @@ let bfs g root =
     let v = Queue.pop queue in
     order.(!filled) <- v;
     incr filled;
-    Array.iter
-      (fun w ->
+    Gr.iter_neighbors g v (fun w ->
         if dist.(w) < 0 then begin
           dist.(w) <- dist.(v) + 1;
           parent.(w) <- v;
           Queue.add w queue
         end)
-      (Gr.neighbors g v)
   done;
   let order = Array.sub order 0 !filled in
   { root; parent; dist; order }

@@ -19,13 +19,11 @@ let components_without g sep =
       while not (Queue.is_empty queue) do
         let v = Queue.pop queue in
         comp := v :: !comp;
-        Array.iter
-          (fun w ->
+        Gr.iter_neighbors g v (fun w ->
             if (not banned.(w)) && not seen.(w) then begin
               seen.(w) <- true;
               Queue.add w queue
             end)
-          (Gr.neighbors g v)
       done;
       comps := !comp :: !comps
     end

@@ -21,16 +21,44 @@ let hello_proto bits =
 let test_quiescence () =
   let g = Gen.cycle 6 in
   let m = Metrics.create g in
-  let _ = Network.run ~metrics:m g (hello_proto 8) in
+  let r = Network.exec ~observe:(Observe.of_metrics m) g (hello_proto 8) in
   (* One spontaneous round of sends, then one delivery round. *)
   check "rounds" 1 (Metrics.rounds m);
   check "messages" 12 (Metrics.messages m);
-  check "bits" (12 * 8) (Metrics.total_bits m)
+  check "bits" (12 * 8) (Metrics.total_bits m);
+  (* The engine's own report agrees with the metrics sink. *)
+  check "result rounds" 1 r.Network.rounds;
+  check "report messages" 12 r.Network.report.Network.messages;
+  check "report bits" (12 * 8) r.Network.report.Network.bits;
+  check "report max message" 8 r.Network.report.Network.max_message_bits;
+  check "report burst" 8 r.Network.report.Network.max_round_edge_bits;
+  check "report active peak" 6 r.Network.report.Network.active_peak
+
+let test_report_without_sinks () =
+  (* Observe.none: the flat counters are still tallied. *)
+  let g = Gen.cycle 6 in
+  let r = Network.exec g (hello_proto 8) in
+  check "rounds" 1 r.Network.rounds;
+  check "messages" 12 r.Network.report.Network.messages;
+  Alcotest.(check bool) "no verdict" true (r.Network.report.Network.verdict = None)
+
+let test_bounds_verdict () =
+  (* A bounds request makes the run check itself even without a metrics
+     sink. *)
+  let g = Gen.cycle 8 in
+  let r =
+    Network.exec
+      ~observe:(Observe.make ~bounds:(Observe.bounds_spec ~d:4 ()) ())
+      g (hello_proto 8)
+  in
+  match r.Network.report.Network.verdict with
+  | None -> Alcotest.fail "expected a bounds verdict"
+  | Some v -> Alcotest.(check bool) "bounds hold" true (Bounds.ok v)
 
 let test_bandwidth_enforced () =
   let g = Gen.path 2 in
   (try
-     ignore (Network.run ~bandwidth:16 g (hello_proto 17));
+     ignore (Network.exec ~bandwidth:16 g (hello_proto 17));
      Alcotest.fail "expected Bandwidth_exceeded"
    with Network.Bandwidth_exceeded { bits; _ } -> check "bits" 17 bits)
 
@@ -46,7 +74,7 @@ let test_bandwidth_cumulative () =
     }
   in
   (try
-     ignore (Network.run ~bandwidth:16 g proto);
+     ignore (Network.exec ~bandwidth:16 g proto);
      Alcotest.fail "expected Bandwidth_exceeded"
    with Network.Bandwidth_exceeded { bits; _ } -> check "bits" 20 bits)
 
@@ -60,7 +88,7 @@ let test_non_neighbor_rejected () =
     }
   in
   (try
-     ignore (Network.run g proto);
+     ignore (Network.exec g proto);
      Alcotest.fail "expected Invalid_argument"
    with Invalid_argument _ -> ())
 
@@ -75,9 +103,13 @@ let test_livelock_guard () =
     }
   in
   (try
-     ignore (Network.run ~max_rounds:10 g proto);
-     Alcotest.fail "expected Failure"
-   with Failure _ -> ())
+     ignore (Network.exec ~max_rounds:10 g proto);
+     Alcotest.fail "expected No_quiescence"
+   with Network.No_quiescence { round; active; messages } ->
+     check "round" 10 round;
+     (* Both endpoints of the path keep ping-ponging one message each. *)
+     check "active" 2 active;
+     check "messages" 2 messages)
 
 (* ------------------------------------------------------------------ *)
 (* Protocols vs centralized reference                                  *)
@@ -120,7 +152,7 @@ let prop_leader_bfs_rounds_linear_in_diameter =
     (fun n ->
       let g = Gen.cycle n in
       let m = Metrics.create g in
-      let _ = Proto.leader_bfs ~metrics:m g in
+      let _ = Proto.leader_bfs ~observe:(Observe.of_metrics m) g in
       let d = Traverse.diameter g in
       Metrics.rounds m <= (3 * d) + 3)
 
@@ -129,7 +161,8 @@ let test_convergecast_sum () =
   let bt = Traverse.bfs g 0 in
   let m = Metrics.create g in
   let total =
-    Proto.convergecast ~metrics:m g ~parent:bt.Traverse.parent ~root:0
+    Proto.convergecast ~observe:(Observe.of_metrics m) g
+      ~parent:bt.Traverse.parent ~root:0
       ~values:(Array.init 15 (fun i -> i))
       ~op:( + ) ~value_bits:8
   in
@@ -164,7 +197,10 @@ let test_broadcast () =
   let g = Gen.random_tree ~seed:4 20 in
   let bt = Traverse.bfs g 0 in
   let m = Metrics.create g in
-  let got = Proto.broadcast ~metrics:m g ~parent:bt.Traverse.parent ~root:0 ~value:42 ~value_bits:8 in
+  let got =
+    Proto.broadcast ~observe:(Observe.of_metrics m) g
+      ~parent:bt.Traverse.parent ~root:0 ~value:42 ~value_bits:8
+  in
   Array.iter (fun x -> check "value" 42 x) got;
   check "rounds = depth" (Traverse.depth bt) (Metrics.rounds m)
 
@@ -251,6 +287,9 @@ let () =
       ( "network",
         [
           Alcotest.test_case "quiescence" `Quick test_quiescence;
+          Alcotest.test_case "report without sinks" `Quick
+            test_report_without_sinks;
+          Alcotest.test_case "bounds verdict" `Quick test_bounds_verdict;
           Alcotest.test_case "bandwidth" `Quick test_bandwidth_enforced;
           Alcotest.test_case "bandwidth cumulative" `Quick
             test_bandwidth_cumulative;

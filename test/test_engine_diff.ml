@@ -1,0 +1,321 @@
+(* Differential test of the flat-array engine against the pre-redesign
+   one.
+
+   Network.run keeps the historical per-round-hashtable implementation
+   precisely so this suite can execute both engines on the same protocol
+   and graph and demand bit-identical final states, round counts,
+   metrics (totals, bursts, per-directed-edge loads, the round log) and
+   trace journals (including individual message events) — across every
+   generator family, fixed and seeded, and across protocols that probe
+   the delivery-order guarantee and multi-message edges. A final group
+   checks the engines agree on errors too, and that the new round loop's
+   allocation is independent of n. *)
+
+[@@@alert "-legacy"]
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Probe protocols                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let to_all g v msg =
+  Gr.fold_neighbors g v ~init:[] ~f:(fun acc w -> (w, msg) :: acc)
+
+(* One spontaneous burst, then silence. *)
+let hello =
+  {
+    Network.init = (fun g v -> (v, to_all g v v));
+    round = (fun _g _v st _inbox -> (st, []));
+    msg_bits = (fun _ -> 8);
+  }
+
+(* Max-id flood: multi-round, quiesces in O(D). *)
+let flood =
+  {
+    Network.init = (fun g v -> (v, to_all g v v));
+    round =
+      (fun g v best inbox ->
+        let best' = List.fold_left (fun acc (_, x) -> max acc x) best inbox in
+        if best' = best then (best, []) else (best', to_all g v best'));
+    msg_bits = (fun _ -> 12);
+  }
+
+(* Order-observing: the state is a non-commutative fold of the inbox in
+   delivery order, and keeps propagating for a fixed number of hops — any
+   divergence in inbox ordering between the engines shows up in the final
+   hashes. *)
+let order_hash ttl =
+  {
+    Network.init = (fun g v -> ((v, ttl), to_all g v v));
+    round =
+      (fun g v (h, t) inbox ->
+        let h' =
+          List.fold_left
+            (fun acc (src, x) -> (acc * 1_000_003) + (src lxor (x * 31)))
+            h inbox
+        in
+        if t = 0 then ((h', 0), [])
+        else ((h', t - 1), to_all g v (h' land 0xffff)));
+    msg_bits = (fun _ -> 16);
+  }
+
+(* Several messages per edge per round: exercises per-sender outbox order
+   and the cumulative per-edge load accounting. *)
+let double_talk rounds_left =
+  {
+    Network.init =
+      (fun g v ->
+        ( rounds_left,
+          Gr.fold_neighbors g v ~init:[] ~f:(fun acc w ->
+              (w, 2 * v) :: (w, (2 * v) + 1) :: acc) ));
+    round =
+      (fun g v t inbox ->
+        if t = 0 || inbox = [] then (t, [])
+        else
+          ( t - 1,
+            Gr.fold_neighbors g v ~init:[] ~f:(fun acc w ->
+                (w, t) :: (w, t + v) :: acc) ));
+    msg_bits = (fun _ -> 8);
+  }
+
+let run_legacy proto g =
+  let m = Metrics.create g in
+  let tr = Trace.create ~keep_messages:true () in
+  let states = Network.run ~bandwidth:4096 ~metrics:m ~trace:tr g proto in
+  (states, m, tr)
+
+let run_exec proto g =
+  let m = Metrics.create g in
+  let tr = Trace.create ~keep_messages:true () in
+  let r =
+    Network.exec ~bandwidth:4096
+      ~observe:(Observe.make ~metrics:m ~trace:tr ())
+      g proto
+  in
+  (r, m, tr)
+
+let dir_table m =
+  let rows = ref [] in
+  Metrics.iter_dir m (fun ~src ~dst ~bits ~messages ~burst ->
+      rows := (src, dst, bits, messages, burst) :: !rows);
+  List.rev !rows
+
+let metrics_equal name a b =
+  check (name ^ ": rounds") (Metrics.rounds a) (Metrics.rounds b);
+  check (name ^ ": messages") (Metrics.messages a) (Metrics.messages b);
+  check (name ^ ": total bits") (Metrics.total_bits a) (Metrics.total_bits b);
+  check (name ^ ": max edge bits") (Metrics.max_edge_bits a)
+    (Metrics.max_edge_bits b);
+  check (name ^ ": max message bits") (Metrics.max_message_bits a)
+    (Metrics.max_message_bits b);
+  check (name ^ ": max burst") (Metrics.max_round_edge_bits a)
+    (Metrics.max_round_edge_bits b);
+  check (name ^ ": active peak") (Metrics.active_peak a) (Metrics.active_peak b);
+  check_bool (name ^ ": round log") true
+    (Metrics.round_log a = Metrics.round_log b);
+  check_bool (name ^ ": per-directed-edge table") true
+    (dir_table a = dir_table b)
+
+let diff_one name proto g =
+  let (s_old, m_old, t_old) = run_legacy proto g in
+  let (r_new, m_new, t_new) = run_exec proto g in
+  check_bool (name ^ ": states") true (s_old = r_new.Network.states);
+  check (name ^ ": result rounds") (Metrics.rounds m_old) r_new.Network.rounds;
+  metrics_equal name m_old m_new;
+  check_bool (name ^ ": trace events") true
+    (Trace.events t_old = Trace.events t_new);
+  (* The engine's own report must agree with the metrics sink. *)
+  check (name ^ ": report messages") (Metrics.messages m_new)
+    r_new.Network.report.Network.messages;
+  check (name ^ ": report bits") (Metrics.total_bits m_new)
+    r_new.Network.report.Network.bits;
+  check (name ^ ": report max message") (Metrics.max_message_bits m_new)
+    r_new.Network.report.Network.max_message_bits;
+  check (name ^ ": report burst") (Metrics.max_round_edge_bits m_new)
+    r_new.Network.report.Network.max_round_edge_bits;
+  check (name ^ ": report active peak") (Metrics.active_peak m_new)
+    r_new.Network.report.Network.active_peak
+
+let diff_all_protocols name g =
+  diff_one (name ^ "/hello") hello g;
+  diff_one (name ^ "/flood") flood g;
+  diff_one (name ^ "/order-hash") (order_hash 5) g;
+  diff_one (name ^ "/double-talk") (double_talk 4) g
+
+let fixed_families =
+  [
+    ("path 13", Gen.path 13);
+    ("path 2", Gen.path 2);
+    ("cycle 17", Gen.cycle 17);
+    ("star 9", Gen.star 9);
+    ("grid 5x7", Gen.grid 5 7);
+    ("triangular grid 3x4", Gen.triangular_grid 3 4);
+    ("toroidal grid 4x4", Gen.toroidal_grid 4 4);
+    ("binary tree 15", Gen.binary_tree 15);
+    ("complete 6", Gen.complete 6);
+    ("K3,3", Gen.k33 ());
+    ("petersen", Gen.petersen ());
+    ("wheel 9", Gen.wheel 9);
+    ("ladder 6", Gen.ladder 6);
+    ("fan 11", Gen.fan 11);
+  ]
+
+let test_fixed_families () =
+  List.iter (fun (name, g) -> diff_all_protocols name g) fixed_families
+
+let seeded_props =
+  let prop name build =
+    QCheck.Test.make ~count:10 ~name
+      QCheck.(int_range 0 10_000)
+      (fun seed ->
+        diff_all_protocols (Printf.sprintf "%s seed=%d" name seed) (build seed);
+        true)
+  in
+  [
+    prop "diff random connected" (fun seed ->
+        Gen.random_connected_graph ~seed ~n:30 ~m:60);
+    prop "diff random tree" (fun seed -> Gen.random_tree ~seed 40);
+    prop "diff random maximal planar" (fun seed ->
+        Gen.random_maximal_planar ~seed 40);
+    prop "diff random outerplanar" (fun seed ->
+        Gen.random_outerplanar ~seed ~n:25 ~chord_prob:0.4);
+    prop "diff random planar" (fun seed ->
+        Gen.random_planar ~seed ~n:24 ~m:40);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Error parity                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_bandwidth_parity () =
+  (* Two 10-bit messages on one edge against a 16-bit budget: both
+     engines must blame the same edge at the same cumulative count. *)
+  let g = Gen.path 2 in
+  let proto =
+    {
+      Network.init = (fun _g v -> ((), [ (1 - v, 0); (1 - v, 1) ]));
+      round = (fun _g _v st _inbox -> (st, []));
+      msg_bits = (fun _ -> 10);
+    }
+  in
+  let payload run =
+    try
+      run ();
+      Alcotest.fail "expected Bandwidth_exceeded"
+    with Network.Bandwidth_exceeded { round; u; v; bits } -> (round, u, v, bits)
+  in
+  let p_old = payload (fun () -> ignore (Network.run ~bandwidth:16 g proto)) in
+  let p_new = payload (fun () -> ignore (Network.exec ~bandwidth:16 g proto)) in
+  check_bool "identical Bandwidth_exceeded payloads" true (p_old = p_new)
+
+let test_non_neighbor_parity () =
+  let g = Gr.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+  let proto =
+    {
+      Network.init = (fun _g v -> ((), if v = 0 then [ (2, 0) ] else []));
+      round = (fun _g _v st _inbox -> (st, []));
+      msg_bits = (fun _ -> 1);
+    }
+  in
+  let msg run =
+    try
+      run ();
+      Alcotest.fail "expected Invalid_argument"
+    with Invalid_argument m -> m
+  in
+  let m_old = msg (fun () -> ignore (Network.run g proto)) in
+  let m_new = msg (fun () -> ignore (Network.exec g proto)) in
+  Alcotest.(check string) "identical Invalid_argument messages" m_old m_new
+
+let test_livelock_contracts () =
+  (* Same livelock, two documented signals: Failure from the shim,
+     No_quiescence from the new engine. *)
+  let g = Gen.path 2 in
+  let proto =
+    {
+      Network.init = (fun _g v -> ((), [ (1 - v, 0) ]));
+      round = (fun _g v st _inbox -> (st, [ (1 - v, 0) ]));
+      msg_bits = (fun _ -> 1);
+    }
+  in
+  (try
+     ignore (Network.run ~max_rounds:7 g proto);
+     Alcotest.fail "expected Failure"
+   with Failure _ -> ());
+  try
+    ignore (Network.exec ~max_rounds:7 g proto);
+    Alcotest.fail "expected No_quiescence"
+  with Network.No_quiescence { round; active; messages } ->
+    check "round" 7 round;
+    check "active" 2 active;
+    check "messages" 2 messages
+
+(* ------------------------------------------------------------------ *)
+(* Allocation regression                                               *)
+(* ------------------------------------------------------------------ *)
+
+let words_now () =
+  let s = Gc.quick_stat () in
+  s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+
+(* A single token circling a large ring: exactly one active node and one
+   message per round. If the round loop allocated O(n) per round (the old
+   engine's fresh inbox array and whole-network scans), the words-per-
+   round figure would be >= n; the flat-array loop must stay at a small
+   constant (a handful of cons cells and tuples per delivered message). *)
+let token_ring_words n ttl =
+  let g = Gen.cycle n in
+  let next v src = if (v + 1) mod n = src then (v + n - 1) mod n else (v + 1) mod n in
+  let proto =
+    {
+      Network.init = (fun _g v -> ((), if v = 0 then [ (1, ttl) ] else []));
+      round =
+        (fun _g v st inbox ->
+          match inbox with
+          | [ (src, t) ] when t > 0 -> (st, [ (next v src, t - 1) ])
+          | _ -> (st, []));
+      msg_bits = (fun _ -> 16);
+    }
+  in
+  let before = words_now () in
+  let r = Network.exec ~max_rounds:(ttl + 8) g proto in
+  let after = words_now () in
+  check "token ran out" (ttl + 1) r.Network.rounds;
+  after -. before
+
+let test_quiescent_round_allocation () =
+  let n = 5_000 in
+  ignore (token_ring_words n 16);
+  (* warm-up *)
+  let short = token_ring_words n 500 in
+  let long = token_ring_words n 1_500 in
+  let per_round = (long -. short) /. 1_000. in
+  (* One active node, one message: a round's marginal allocation must be
+     a small constant, nowhere near n words. *)
+  check_bool
+    (Printf.sprintf "per-round allocation is O(1): %.1f words/round" per_round)
+    true
+    (per_round < 100.)
+
+let () =
+  let seeded = List.map QCheck_alcotest.to_alcotest seeded_props in
+  Alcotest.run "engine-diff"
+    [
+      ( "old vs new",
+        [ Alcotest.test_case "fixed families" `Quick test_fixed_families ]
+        @ seeded );
+      ( "error parity",
+        [
+          Alcotest.test_case "bandwidth payloads" `Quick test_bandwidth_parity;
+          Alcotest.test_case "non-neighbor messages" `Quick
+            test_non_neighbor_parity;
+          Alcotest.test_case "livelock contracts" `Quick test_livelock_contracts;
+        ] );
+      ( "allocation",
+        [
+          Alcotest.test_case "quiescent rounds allocate O(1)" `Quick
+            test_quiescent_round_allocation;
+        ] );
+    ]

@@ -43,6 +43,43 @@ let test_edge_index_roundtrip () =
       check "sym" i (Gr.edge_index g v u))
     (Gr.edges g)
 
+let test_iter_fold_neighbors () =
+  let g = Gr.of_edges ~n:5 [ (2, 4); (2, 0); (2, 3); (2, 1); (0, 1) ] in
+  for v = 0 to 4 do
+    let seen = ref [] in
+    Gr.iter_neighbors g v (fun w -> seen := w :: !seen);
+    Alcotest.(check (array int))
+      "iter matches neighbors" (Gr.neighbors g v)
+      (Array.of_list (List.rev !seen));
+    check "fold counts degree" (Gr.degree g v)
+      (Gr.fold_neighbors g v ~init:0 ~f:(fun acc _ -> acc + 1))
+  done
+
+let test_darts () =
+  let g = Gen.grid 3 4 in
+  check "2m darts" (2 * Gr.m g) (Gr.darts g);
+  let xadj = Gr.dart_offsets g in
+  let srcs = Gr.dart_sources g in
+  let dedge = Gr.dart_edges g in
+  check "offsets length" (Gr.n g + 1) (Array.length xadj);
+  for v = 0 to Gr.n g - 1 do
+    (* A vertex's in-darts are its CSR slice: sources ascending, and each
+       dart resolves back to its undirected edge. *)
+    for i = xadj.(v) to xadj.(v + 1) - 1 do
+      let u = srcs.(i) in
+      check "dart lookup" i (Gr.dart g ~src:u ~dst:v);
+      check "dart_src" u (Gr.dart_src g i);
+      check "dart_edge" (Gr.edge_index g u v) (Gr.dart_edge g i);
+      check "dart_edge (accessor array)" dedge.(i) (Gr.dart_edge g i);
+      if i > xadj.(v) then
+        check_bool "sources ascending" true (srcs.(i - 1) < u)
+    done
+  done;
+  (try
+     ignore (Gr.dart g ~src:0 ~dst:11);
+     Alcotest.fail "expected Not_found"
+   with Not_found -> ())
+
 let test_induced () =
   let g = Gen.cycle 6 in
   let (h, old_of_new, new_of_old) = Gr.induced g [ 0; 1; 2; 4 ] in
@@ -471,6 +508,9 @@ let () =
           Alcotest.test_case "sorted" `Quick test_neighbors_sorted;
           Alcotest.test_case "mem_edge" `Quick test_mem_edge;
           Alcotest.test_case "edge_index" `Quick test_edge_index_roundtrip;
+          Alcotest.test_case "iter/fold neighbors" `Quick
+            test_iter_fold_neighbors;
+          Alcotest.test_case "darts" `Quick test_darts;
           Alcotest.test_case "induced" `Quick test_induced;
           Alcotest.test_case "induced dup" `Quick test_induced_duplicate_rejected;
           Alcotest.test_case "union_vertices" `Quick test_union_vertices;

@@ -115,7 +115,7 @@ let test_protocol_deterministic () =
     (fun (name, g) ->
       let run () =
         let m = Metrics.create g in
-        let states = Proto.leader_bfs ~metrics:m g in
+        let states = Proto.leader_bfs ~observe:(Observe.of_metrics m) g in
         (states, m)
       in
       let (s1, m1) = run () in
@@ -164,7 +164,7 @@ let test_quiescence () =
   List.iter
     (fun (name, g) ->
       let m = Metrics.create g in
-      let _ = Proto.leader_bfs ~metrics:m g in
+      let _ = Proto.leader_bfs ~observe:(Observe.of_metrics m) g in
       let limit = (16 * Gr.n g) + 64 in
       check_bool
         (Printf.sprintf "%s: quiesced (%d < %d)" name (Metrics.rounds m) limit)
@@ -196,7 +196,7 @@ let collect_inbox_protocol =
 let test_inbox_sorted_by_sender () =
   let n = 12 in
   let g = Gen.star n in
-  let states = Network.run g collect_inbox_protocol in
+  let states = (Network.exec g collect_inbox_protocol).Network.states in
   let senders = List.map fst states.(0) in
   check_bool "every leaf heard" true
     (List.length senders = n - 1);
@@ -216,7 +216,7 @@ let test_same_sender_order () =
     }
   in
   (* Three messages share the edge in round 0; give them room. *)
-  let states = Network.run ~bandwidth:64 g proto in
+  let states = (Network.exec ~bandwidth:64 g proto).Network.states in
   check_bool "outbox order preserved" true
     (states.(1) = [ (0, 10); (0, 20); (0, 30) ])
 
@@ -237,8 +237,8 @@ let test_order_observing_deterministic () =
       msg_bits = (fun _ -> 16);
     }
   in
-  let s1 = Network.run g proto in
-  let s2 = Network.run g proto in
+  let s1 = (Network.exec g proto).Network.states in
+  let s2 = (Network.exec g proto).Network.states in
   check_bool "order-observing states identical" true (s1 = s2)
 
 let () =
