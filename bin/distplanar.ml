@@ -254,11 +254,18 @@ let trace_cmd =
       try Embedder.run ~mode ~observe:(Observe.of_trace tr) g
       with Network.No_quiescence { round; active; messages } ->
         (* A protocol that never goes quiet: say where it was stuck, not
-           just that it was. *)
+           just that it was — the innermost still-open span is the
+           protocol phase that was executing when the guard tripped. *)
+        let stalled_in =
+          match Trace.open_span_names tr with
+          | [] -> "(no protocol phase was open)"
+          | phase :: _ -> Printf.sprintf "protocol phase %S" phase
+        in
         Printf.eprintf
           "trace: no quiescence after %d rounds — %d nodes still had \
-           undelivered mail and the last round sent %d messages.\n"
-          round active messages;
+           undelivered mail, the last round sent %d messages, and the run \
+           stalled inside %s.\n"
+          round active messages stalled_in;
         Printf.eprintf
           "trace: the last rounds of the journal show who kept talking:\n";
         Format.eprintf "%a@." Trace.pp_summary tr;
@@ -337,6 +344,163 @@ let trace_cmd =
           congestion hot spots, bound checks, optional JSON journal.")
     term
 
+let chaos_cmd =
+  let drop_t =
+    Arg.(value & opt float 0.0 & info [ "drop" ] ~doc:"Per-message drop probability.")
+  in
+  let dup_t =
+    Arg.(value & opt float 0.0 & info [ "dup-prob" ] ~doc:"Per-message duplication probability.")
+  in
+  let reorder_t =
+    Arg.(value & opt float 0.0 & info [ "reorder-prob" ] ~doc:"Per-copy reordering probability.")
+  in
+  let delay_t =
+    Arg.(value & opt float 0.0 & info [ "delay-prob" ] ~doc:"Per-copy late-delivery probability.")
+  in
+  let max_delay_t =
+    Arg.(value & opt int 3 & info [ "max-delay" ] ~doc:"Maximum extra delivery delay in rounds.")
+  in
+  let adversarial_t =
+    Arg.(value & flag & info [ "adversarial" ] ~doc:"Permute every delivered inbox (seeded).")
+  in
+  let crash_t =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "crash" ] ~docv:"NODE@AT[:RESTART]"
+          ~doc:
+            "Crash $(i,NODE) at round $(i,AT); with $(i,:RESTART), bring it \
+             back at that round. Repeatable.")
+  in
+  let grace_t =
+    Arg.(
+      value & opt int 8
+      & info [ "grace" ]
+          ~doc:"Quiet rounds required before the clocked loop declares quiescence.")
+  in
+  let runs_t =
+    Arg.(
+      value & opt int 1
+      & info [ "runs" ] ~doc:"Sweep this many consecutive seeds (seed, seed+1, ...).")
+  in
+  let parse_crash s =
+    let fail () =
+      Printf.eprintf "chaos: cannot parse --crash %S (want NODE@AT[:RESTART])\n" s;
+      exit 2
+    in
+    match String.split_on_char '@' s with
+    | [ node; rest ] -> (
+        let node = try int_of_string node with Failure _ -> fail () in
+        match String.split_on_char ':' rest with
+        | [ at ] -> (
+            try { Fault.node; at = int_of_string at; restart = None }
+            with Failure _ -> fail ())
+        | [ at; restart ] -> (
+            try
+              {
+                Fault.node;
+                at = int_of_string at;
+                restart = Some (int_of_string restart);
+              }
+            with Failure _ -> fail ())
+        | _ -> fail ())
+    | _ -> fail ()
+  in
+  let run family n rows cols seglen seed m chord mode drop dup reorder delay
+      max_delay adversarial crash_specs grace runs =
+    (* The quickstart says `--family grid --n 1024`: for the grid families,
+       an explicit --n with the rows/cols left at their defaults means a
+       square sqrt(n) x sqrt(n) grid. *)
+    let rows, cols =
+      if
+        (family = "grid" || family = "trigrid" || family = "toroidal")
+        && rows = 8 && cols = 8 && n <> 100
+      then
+        let side = max 2 (int_of_float (sqrt (float_of_int n) +. 0.5)) in
+        (side, side)
+      else (rows, cols)
+    in
+    let g = make_graph family n rows cols seglen seed m chord in
+    graph_summary g;
+    let crashes = List.map parse_crash crash_specs in
+    let spec =
+      {
+        Fault.drop;
+        duplicate = dup;
+        reorder;
+        delay;
+        max_delay;
+        adversarial;
+        crashes;
+        grace;
+      }
+    in
+    let plan =
+      try Fault.make ~spec ~seed ()
+      with Invalid_argument msg ->
+        Printf.eprintf "chaos: invalid fault spec: %s\n" msg;
+        exit 2
+    in
+    Printf.printf
+      "fault spec       : drop=%.3f dup=%.3f reorder=%.3f delay=%.3f (max %d \
+       rounds) adversarial=%s crashes=%d grace=%d\n"
+      drop dup reorder delay max_delay
+      (if adversarial then "yes" else "no")
+      (List.length crashes) grace;
+    let clean = Embedder.run ~mode g in
+    let clean_rounds = clean.Embedder.report.Embedder.rounds in
+    Printf.printf "clean baseline   : %d rounds\n" clean_rounds;
+    let failures = ref 0 in
+    for i = 0 to runs - 1 do
+      let seed = seed + i in
+      let plan = if i = 0 then plan else Fault.make ~spec ~seed () in
+      let verdict, rounds =
+        match Embedder.run ~mode ~faults:plan g with
+        | o -> (
+            let r = o.Embedder.report.Embedder.rounds in
+            match o.Embedder.rotation with
+            | None ->
+                incr failures;
+                ("NOT PLANAR", r)
+            | Some rot ->
+                if Rotation.is_planar_embedding rot then ("planar, Euler ok", r)
+                else (
+                  incr failures;
+                  ("EULER CHECK FAILED", r)))
+        | exception Network.No_quiescence { round; active; _ } ->
+            incr failures;
+            (Printf.sprintf "NO QUIESCENCE (%d nodes still active)" active, round)
+      in
+      let s = Fault.stats plan in
+      Printf.printf
+        "run seed=%-6d : rounds=%-6d (%+.1f%%)  drops=%d dups=%d reorders=%d \
+         delays=%d crash-lost=%d crashes=%d restarts=%d  verdict=%s\n"
+        seed rounds
+        (100.0
+        *. (float_of_int rounds -. float_of_int clean_rounds)
+        /. float_of_int (max 1 clean_rounds))
+        s.Fault.dropped s.Fault.duplicated s.Fault.reordered s.Fault.delayed
+        s.Fault.crash_lost s.Fault.crashes s.Fault.restarts verdict
+    done;
+    Printf.printf "chaos verdict    : %d/%d runs embedded correctly\n"
+      (runs - !failures) runs;
+    if !failures > 0 then exit 1
+  in
+  let term =
+    Term.(
+      const run $ family_t $ n_t $ rows_t $ cols_t $ seglen_t $ seed_t $ m_t
+      $ chord_t $ mode_t $ drop_t $ dup_t $ reorder_t $ delay_t $ max_delay_t
+      $ adversarial_t $ crash_t $ grace_t $ runs_t)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the embedder under a deterministic fault plan (drops, \
+          duplicates, reordering, delays, crashes, adversarial delivery) \
+          with the protocols Reliable-wrapped, and report per-run fault \
+          counts and embedding verdicts.")
+    term
+
 let families_cmd =
   let run () = print_endline family_doc in
   Cmd.v (Cmd.info "families" ~doc:"List graph families.") Term.(const run $ const ())
@@ -349,4 +513,4 @@ let () =
   let info = Cmd.info "distplanar" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ embed_cmd; baseline_cmd; check_cmd; witness_cmd; separator_cmd;
-         trace_cmd; families_cmd ]))
+         trace_cmd; chaos_cmd; families_cmd ]))

@@ -32,6 +32,9 @@ type verdict = {
   max_round_edge_bits : int;
   burst_ok : bool;  (** [max_round_edge_bits <= bandwidth]. *)
 }
+(** One evaluated bound check: the three inequalities with the measured
+    quantities, the bounds they were held against, and the observed
+    constants. *)
 
 val word_bits : int -> int
 (** [⌈log₂ n⌉] (at least 1). *)
@@ -56,6 +59,7 @@ val ok : verdict -> bool
 (** All three inequalities hold. *)
 
 val pp : Format.formatter -> verdict -> unit
+(** Human-readable rendering of a verdict, one inequality per line. *)
 
 val assert_ok : verdict -> unit
 (** @raise Failure with the pretty-printed verdict if any bound fails. *)

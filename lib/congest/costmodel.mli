@@ -21,6 +21,7 @@
     too. *)
 
 type t
+(** One cost-model clock, bound to a graph and a metrics accumulator. *)
 
 val create :
   ?bandwidth:int -> ?trace:Trace.t -> ?round_base:int -> Gr.t -> Metrics.t -> t
@@ -31,6 +32,8 @@ val create :
     consumed before this cost model took over the clock. *)
 
 val bandwidth : t -> int
+(** The per-edge bits-per-round budget every charge is computed under. *)
+
 val word : t -> int
 (** Bits of one vertex id: [⌈log2 n⌉]. *)
 
@@ -45,9 +48,12 @@ val span : t -> string -> (unit -> 'a) -> 'a
     without a trace). The span closes even if the thunk raises. *)
 
 val span_open : t -> string -> unit
+(** Open a named trace span at the current round (see {!span_close}). *)
+
 val span_close : t -> ?attrs:(string * int) list -> unit -> unit
-(** Explicit variant of {!span} for callers whose closing attributes are
-    only known at the end (e.g. the merge schedule's survivor counts). *)
+(** Close the innermost open span. The open/close pair is the explicit
+    variant of {!span}, for callers whose closing attributes are only
+    known at the end (e.g. the merge schedule's survivor counts). *)
 
 val note : t -> string -> int -> unit
 (** Record a named scalar observation at the current round. *)

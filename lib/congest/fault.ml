@@ -1,0 +1,178 @@
+type crash = { node : int; at : int; restart : int option }
+
+type spec = {
+  drop : float;
+  duplicate : float;
+  reorder : float;
+  delay : float;
+  max_delay : int;
+  adversarial : bool;
+  crashes : crash list;
+  grace : int;
+}
+
+let default =
+  {
+    drop = 0.;
+    duplicate = 0.;
+    reorder = 0.;
+    delay = 0.;
+    max_delay = 3;
+    adversarial = false;
+    crashes = [];
+    grace = 8;
+  }
+
+type stats = {
+  dropped : int;
+  duplicated : int;
+  reordered : int;
+  delayed : int;
+  crash_lost : int;
+  crashes : int;
+  restarts : int;
+}
+
+let zero_stats =
+  {
+    dropped = 0;
+    duplicated = 0;
+    reordered = 0;
+    delayed = 0;
+    crash_lost = 0;
+    crashes = 0;
+    restarts = 0;
+  }
+
+type plan = {
+  spec : spec;
+  seed : int;
+  mutable state : int64;  (* splitmix64 stream position *)
+  mutable stats : stats;
+  by_node : (int, crash list) Hashtbl.t;
+  horizon : int;
+}
+
+(* splitmix64: a tiny, well-mixed, platform-independent generator — the
+   plan must not depend on Stdlib.Random's global state or algorithm. *)
+let mix seed = Int64.logxor (Int64.of_int seed) 0x2545F4914F6CDD1DL
+
+let next p =
+  let open Int64 in
+  p.state <- add p.state 0x9E3779B97F4A7C15L;
+  let z = p.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Uniform float in [0, 1): the top 53 bits of one draw. *)
+let uniform p =
+  Int64.to_float (Int64.shift_right_logical (next p) 11) *. 0x1p-53
+
+(* Uniform int in [0, bound): modulo bias is irrelevant at fault-plan
+   precision (bound is tiny against 2^62). *)
+let below p bound =
+  Int64.to_int (Int64.shift_right_logical (next p) 2) mod bound
+
+let chance p prob = prob > 0. && uniform p < prob
+
+let make ?(spec = default) ~seed () =
+  let bad_prob x = not (x >= 0. && x <= 1.) in
+  if bad_prob spec.drop || bad_prob spec.duplicate || bad_prob spec.reorder
+     || bad_prob spec.delay
+  then invalid_arg "Fault.make: probabilities must be within [0, 1]";
+  if spec.max_delay < 1 then invalid_arg "Fault.make: max_delay must be >= 1";
+  if spec.grace < 1 then invalid_arg "Fault.make: grace must be >= 1";
+  let by_node = Hashtbl.create (List.length spec.crashes) in
+  let horizon =
+    List.fold_left
+      (fun acc c ->
+        if c.at < 0 then invalid_arg "Fault.make: crash round must be >= 0";
+        (match c.restart with
+        | Some r when r <= c.at ->
+            invalid_arg "Fault.make: restart must come after the crash"
+        | _ -> ());
+        let sofar = try Hashtbl.find by_node c.node with Not_found -> [] in
+        Hashtbl.replace by_node c.node (c :: sofar);
+        max acc (match c.restart with Some r -> r | None -> c.at))
+      0 spec.crashes
+  in
+  { spec; seed; state = mix seed; stats = zero_stats; by_node; horizon }
+
+let spec p = p.spec
+let seed p = p.seed
+let stats p = p.stats
+let horizon p = p.horizon
+let grace p = p.spec.grace
+
+let reset p =
+  p.state <- mix p.seed;
+  p.stats <- zero_stats
+
+type delivery = { offset : int; key : int option }
+
+let one_copy p =
+  let offset =
+    if chance p p.spec.delay then begin
+      p.stats <- { p.stats with delayed = p.stats.delayed + 1 };
+      1 + below p p.spec.max_delay
+    end
+    else 0
+  in
+  let key =
+    if chance p p.spec.reorder then begin
+      p.stats <- { p.stats with reordered = p.stats.reordered + 1 };
+      Some (below p 0x40000000)
+    end
+    else None
+  in
+  { offset; key }
+
+let fate p =
+  if chance p p.spec.drop then begin
+    p.stats <- { p.stats with dropped = p.stats.dropped + 1 };
+    []
+  end
+  else if chance p p.spec.duplicate then begin
+    p.stats <- { p.stats with duplicated = p.stats.duplicated + 1 };
+    let a = one_copy p in
+    let b = one_copy p in
+    [ a; b ]
+  end
+  else [ one_copy p ]
+
+let down p ~node ~round =
+  match Hashtbl.find_opt p.by_node node with
+  | None -> false
+  | Some cs ->
+      List.exists
+        (fun c ->
+          c.at <= round
+          && match c.restart with None -> true | Some r -> round < r)
+        cs
+
+let transitions p ~round =
+  List.filter_map
+    (fun c ->
+      if c.at = round then begin
+        p.stats <- { p.stats with crashes = p.stats.crashes + 1 };
+        Some (c.node, `Crash)
+      end
+      else if c.restart = Some round then begin
+        p.stats <- { p.stats with restarts = p.stats.restarts + 1 };
+        Some (c.node, `Restart)
+      end
+      else None)
+    p.spec.crashes
+
+let note_crash_lost p =
+  p.stats <- { p.stats with crash_lost = p.stats.crash_lost + 1 }
+
+let permute p a =
+  let k = Array.length a in
+  for i = k - 1 downto 1 do
+    let j = below p (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done

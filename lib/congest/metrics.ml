@@ -12,6 +12,7 @@ type t = {
   mutable max_message_bits : int;
   mutable round_log_rev : round_record list;
   mutable phases : (string * int) list;
+  mutable fault_counts : (string * int) list;  (* first-appearance order *)
 }
 
 let create g =
@@ -28,6 +29,7 @@ let create g =
     max_message_bits = 0;
     round_log_rev = [];
     phases = [];
+    fault_counts = [];
   }
 
 let graph t = t.g
@@ -93,6 +95,16 @@ let note_round_edge t ~u ~v ~bits =
 let phase t name r = t.phases <- (name, r) :: t.phases
 let phases t = List.rev t.phases
 
+let note_fault t ~kind =
+  let rec bump = function
+    | [] -> [ (kind, 1) ]
+    | (k, c) :: rest when k = kind -> (k, c + 1) :: rest
+    | kv :: rest -> kv :: bump rest
+  in
+  t.fault_counts <- bump t.fault_counts
+
+let faults t = t.fault_counts
+
 let merge_into ~dst ~src =
   if Gr.n dst.g <> Gr.n src.g || Gr.m dst.g <> Gr.m src.g then
     invalid_arg "Metrics.merge_into: different graphs";
@@ -107,7 +119,16 @@ let merge_into ~dst ~src =
   if src.max_message_bits > dst.max_message_bits then
     dst.max_message_bits <- src.max_message_bits;
   dst.round_log_rev <- src.round_log_rev @ dst.round_log_rev;
-  dst.phases <- List.rev_append (List.rev src.phases) dst.phases
+  dst.phases <- List.rev_append (List.rev src.phases) dst.phases;
+  List.iter
+    (fun (kind, c) ->
+      let rec add = function
+        | [] -> [ (kind, c) ]
+        | (k, c0) :: rest when k = kind -> (k, c0 + c) :: rest
+        | kv :: rest -> kv :: add rest
+      in
+      dst.fault_counts <- add dst.fault_counts)
+    src.fault_counts
 
 let pp ppf t =
   Format.fprintf ppf
@@ -117,4 +138,7 @@ let pp ppf t =
     (max_round_edge_bits t);
   List.iter (fun (name, r) -> Format.fprintf ppf "@   %-28s %6d rounds" name r)
     (phases t);
+  List.iter
+    (fun (kind, c) -> Format.fprintf ppf "@   faults: %-20s %6d" kind c)
+    t.fault_counts;
   Format.fprintf ppf "@]"

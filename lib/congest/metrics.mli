@@ -18,20 +18,30 @@
       to single-round bursts or the round log. *)
 
 type round_record = {
-  round : int;
+  round : int;  (** position on the run's unified round timeline. *)
   active : int;  (** nodes that computed in this round. *)
   messages : int;  (** messages sent in this round. *)
   bits : int;  (** total bits of those messages. *)
 }
+(** One round's activity summary, as recorded by {!record_round}. *)
 
 type t
+(** A mutable metrics accumulator. *)
 
 val create : Gr.t -> t
+(** A fresh, all-zero accumulator for runs on the given graph. *)
 
 val graph : t -> Gr.t
+(** The graph the accumulator was created for. *)
+
 val rounds : t -> int
+(** Rounds accumulated so far (real and cost-charged). *)
+
 val messages : t -> int
+(** Real messages recorded so far. *)
+
 val total_bits : t -> int
+(** Total bits recorded so far (real messages plus charged shipments). *)
 
 val max_edge_bits : t -> int
 (** The largest number of bits exchanged over any single edge. *)
@@ -65,6 +75,8 @@ val iter_dir :
     [src -> dst]. *)
 
 val add_rounds : t -> int -> unit
+(** Advance the round count by the given number of (real or charged)
+    rounds. *)
 
 val add_message : t -> u:int -> v:int -> bits:int -> unit
 (** Record one real message of [bits] bits sent from [u] to [v].
@@ -106,6 +118,15 @@ val phase : t -> string -> int -> unit
 val phases : t -> (string * int) list
 (** Accumulated per-phase rounds, in execution order. *)
 
+val note_fault : t -> kind:string -> unit
+(** Count one injected fault of the given kind (the fault-aware engine
+    calls this; the kind vocabulary is documented at
+    {!Trace.type-event}). *)
+
+val faults : t -> (string * int) list
+(** Per-kind injected-fault counts, in order of first appearance —
+    empty for a clean run. *)
+
 val merge_into : dst:t -> src:t -> unit
 (** Fold [src]'s counters into [dst] (same underlying graph required):
     rounds add up, edge loads add up, bursts and message maxima combine
@@ -113,3 +134,5 @@ val merge_into : dst:t -> src:t -> unit
     runs of phase 1 with the cost-charged recursion phases. *)
 
 val pp : Format.formatter -> t -> unit
+(** Human-readable summary: rounds, messages, bits, maxima, per-phase
+    rounds and fault counts (when any were injected). *)

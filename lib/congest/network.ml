@@ -64,8 +64,12 @@ let sort_prefix a k =
 
    The engine itself allocates nothing per round; the only per-message
    allocations are the in-flight cons cells and the inbox lists handed
-   to the protocol (inherent to the protocol's list-based interface). *)
-let exec ?bandwidth ?max_rounds ?(observe = Observe.none) g proto =
+   to the protocol (inherent to the protocol's list-based interface).
+
+   This is the zero-fault path: [exec] dispatches here whenever no fault
+   plan is installed, so the loop below must stay bit-identical to the
+   pre-fault engine (test_engine_diff.ml holds it to that). *)
+let exec_clean ?bandwidth ?max_rounds ?(observe = Observe.none) g proto =
   let n = Gr.n g in
   let bandwidth =
     match bandwidth with Some b -> b | None -> default_bandwidth g
@@ -239,6 +243,278 @@ let exec ?bandwidth ?max_rounds ?(observe = Observe.none) g proto =
         verdict;
       };
   }
+
+(* The fault-aware clocked engine. [exec] dispatches here only when a
+   fault plan is installed, so this loop is free to favor clarity over
+   allocation discipline: deliveries live in a round-indexed pending
+   table (messages can be delayed across rounds), and every live node
+   takes a step every round — the clock that timeout-driven recovery
+   layers ({!Reliable}) need in order to retransmit. Every random
+   decision is drawn from the plan's seeded stream in engine-visit
+   order, which makes the whole run reproducible from
+   (protocol, graph, spec, seed). The semantics of each fault kind are
+   specified in DESIGN.md §9. *)
+let exec_faulty ~plan ?bandwidth ?max_rounds ?(observe = Observe.none) g proto =
+  let n = Gr.n g in
+  let bandwidth =
+    match bandwidth with Some b -> b | None -> default_bandwidth g
+  in
+  let max_rounds = match max_rounds with Some r -> r | None -> (16 * n) + 64 in
+  let trace = Observe.trace observe in
+  let metrics =
+    match (Observe.metrics observe, Observe.bounds observe) with
+    | None, Some _ -> Some (Metrics.create g)
+    | m, _ -> m
+  in
+  let base = match metrics with Some m -> Metrics.rounds m | None -> 0 in
+  let xadj = Gr.dart_offsets g in
+  let srcs = Gr.dart_sources g in
+  let dedge = Gr.dart_edges g in
+  let nd = Array.length srcs in
+  (* A dart is a directed edge, so the metrics slot of each dart is
+     fixed; memo it once instead of re-deriving it per message. *)
+  let dir_of_dart = Array.make (max 1 nd) 0 in
+  for v = 0 to n - 1 do
+    for d = xadj.(v) to xadj.(v + 1) - 1 do
+      dir_of_dart.(d) <- (2 * dedge.(d)) + if srcs.(d) < v then 0 else 1
+    done
+  done;
+  let round = ref 0 in
+  let msgs_round = ref 0 in
+  let bits_round = ref 0 in
+  let total_msgs = ref 0 in
+  let total_bits = ref 0 in
+  let max_msg_bits = ref 0 in
+  let max_burst = ref 0 in
+  let active_peak = ref 0 in
+  (* Per-dart load of the current round, reset through the touched list
+     at commit time. *)
+  let load = Array.make (max 1 nd) 0 in
+  let touched = ref [] in
+  (* Deliveries in flight: delivery round -> (dst, src, key, seq, msg)
+     list in reverse insertion order. [seq] is the global send sequence
+     number; [key] is the inbox sort key — equal to [seq] normally, a
+     random draw for a reordered copy. *)
+  let pending : (int, (int * int * int * int * 'm) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let in_flight = ref 0 in
+  let seq = ref 0 in
+  let on_fault kind ~src ~dst =
+    (match metrics with Some m -> Metrics.note_fault m ~kind | None -> ());
+    match trace with
+    | Some tr -> Trace.on_fault tr ~round:(base + !round) ~kind ~src ~dst
+    | None -> ()
+  in
+  let schedule ~src ~dst msg (c : Fault.delivery) =
+    if c.Fault.offset > 0 then on_fault "delay" ~src ~dst;
+    let key =
+      match c.Fault.key with
+      | Some k ->
+          on_fault "reorder" ~src ~dst;
+          k
+      | None -> !seq
+    in
+    let at = !round + 1 + c.Fault.offset in
+    let sofar = try Hashtbl.find pending at with Not_found -> [] in
+    Hashtbl.replace pending at ((dst, src, key, !seq, msg) :: sofar);
+    incr seq;
+    incr in_flight
+  in
+  let send u (v, msg) =
+    let d =
+      try Gr.dart g ~src:u ~dst:v
+      with Not_found ->
+        invalid_arg
+          (Printf.sprintf "Network.run: node %d sent to non-neighbor %d" u v)
+    in
+    let bits = proto.msg_bits msg in
+    (match metrics with
+    | Some m -> Metrics.add_message_at m ~dir:dir_of_dart.(d) ~bits
+    | None -> ());
+    (match trace with
+    | Some tr -> Trace.on_message tr ~round:(base + !round) ~src:u ~dst:v ~bits
+    | None -> ());
+    incr msgs_round;
+    bits_round := !bits_round + bits;
+    if bits > !max_msg_bits then max_msg_bits := bits;
+    if load.(d) = 0 then touched := d :: !touched;
+    let now = load.(d) + bits in
+    load.(d) <- now;
+    if now > !max_burst then max_burst := now;
+    if now > bandwidth then
+      raise (Bandwidth_exceeded { round = !round; u; v; bits = now });
+    (* The sender paid for the message (metrics, bandwidth); only now
+       does the network decide its fate. *)
+    match Fault.fate plan with
+    | [] -> on_fault "drop" ~src:u ~dst:v
+    | [ c ] -> schedule ~src:u ~dst:v msg c
+    | cs ->
+        on_fault "duplicate" ~src:u ~dst:v;
+        List.iter (schedule ~src:u ~dst:v msg) cs
+  in
+  let commit_round ~active =
+    (match metrics with
+    | Some m ->
+        List.iter
+          (fun d ->
+            Metrics.note_round_edge_at m ~dir:dir_of_dart.(d) ~bits:load.(d))
+          !touched;
+        Metrics.record_round m ~round:(base + !round) ~active
+          ~messages:!msgs_round ~bits:!bits_round
+    | None -> ());
+    (match trace with
+    | Some tr ->
+        Trace.on_round tr ~round:(base + !round) ~active ~messages:!msgs_round
+          ~bits:!bits_round
+    | None -> ());
+    if active > !active_peak then active_peak := active;
+    total_msgs := !total_msgs + !msgs_round;
+    total_bits := !total_bits + !bits_round
+  in
+  let reset_loads () =
+    List.iter (fun d -> load.(d) <- 0) !touched;
+    touched := []
+  in
+  let apply_transitions r =
+    List.iter
+      (fun (node, what) ->
+        match what with
+        | `Crash -> on_fault "crash" ~src:node ~dst:(-1)
+        | `Restart -> on_fault "restart" ~src:node ~dst:(-1))
+      (Fault.transitions plan ~round:r)
+  in
+  (* Round 0: crashes scheduled at round 0 apply first; a node that is
+     down at round 0 still computes its initial state (the engine needs
+     one) but takes no step — its spontaneous sends are suppressed. *)
+  apply_transitions 0;
+  let states =
+    Array.init n (fun v ->
+        let (s, out) = proto.init g v in
+        if not (Fault.down plan ~node:v ~round:0) then List.iter (send v) out;
+        s)
+  in
+  if !msgs_round > 0 then commit_round ~active:n;
+  reset_loads ();
+  (* Landed copies of the round being delivered: per-recipient reverse
+     lists of (src, key, seq, msg), plus the list of recipients hit. *)
+  let landed : (int * int * int * 'm) list array = Array.make (max 1 n) [] in
+  let inbox : (int * 'm) list array = Array.make (max 1 n) [] in
+  let idle = ref 0 in
+  let grace = Fault.grace plan in
+  let horizon = Fault.horizon plan in
+  let pending_recipients () =
+    let seen = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun _ copies ->
+        List.iter (fun (dst, _, _, _, _) -> Hashtbl.replace seen dst ()) copies)
+      pending;
+    Hashtbl.length seen
+  in
+  if !msgs_round = 0 && !in_flight = 0 then idle := grace;
+  (* The clocked loop: runs until [grace] consecutive rounds saw no send
+     and nothing in flight, and the crash schedule's horizon has passed
+     (a restart scheduled after a lull must still execute). A run whose
+     init sent nothing, under a plan that schedules nothing, is over
+     immediately — as in the clean engine. *)
+  while not (!idle >= grace && !round >= horizon) do
+    if !round >= max_rounds then
+      raise
+        (No_quiescence
+           {
+             round = !round;
+             active = pending_recipients ();
+             messages = !msgs_round;
+           });
+    incr round;
+    let r = !round in
+    apply_transitions r;
+    (* Deliver: due copies land in their recipients' inboxes — unless
+       the recipient is down, in which case the network discards them
+       and keeps the score (a retransmission from the reliable layer,
+       not the engine, is what carries data past an outage). *)
+    let due = try List.rev (Hashtbl.find pending r) with Not_found -> [] in
+    Hashtbl.remove pending r;
+    List.iter
+      (fun (dst, src, key, sq, msg) ->
+        decr in_flight;
+        if Fault.down plan ~node:dst ~round:r then begin
+          Fault.note_crash_lost plan;
+          on_fault "crash-lost" ~src ~dst
+        end
+        else landed.(dst) <- (src, key, sq, msg) :: landed.(dst))
+      due;
+    (* Sort each hit inbox by (sender, key, seq): with no reordered
+       copies this is exactly the documented guarantee — ascending
+       sender, per-sender send order. Adversarial mode then shuffles the
+       whole inbox. Recipients are visited in ascending id order so the
+       shuffles consume the plan's stream deterministically. *)
+    let active = ref 0 in
+    for v = 0 to n - 1 do
+      match landed.(v) with
+      | [] -> ()
+      | copies ->
+          incr active;
+          landed.(v) <- [];
+          let a = Array.of_list copies in
+          Array.sort
+            (fun (s1, k1, q1, _) (s2, k2, q2, _) ->
+              compare (s1, k1, q1) (s2, k2, q2))
+            a;
+          if (Fault.spec plan).Fault.adversarial then Fault.permute plan a;
+          inbox.(v) <-
+            Array.fold_right (fun (src, _, _, m) acc -> (src, m) :: acc) a []
+    done;
+    msgs_round := 0;
+    bits_round := 0;
+    (* Compute: every live node steps, with an empty inbox if nothing
+       arrived — the clock a recovery layer's retransmission timers run
+       on. [active] keeps its metrics meaning: nodes that had mail. *)
+    for v = 0 to n - 1 do
+      if not (Fault.down plan ~node:v ~round:r) then begin
+        let (s, out) = proto.round g v states.(v) inbox.(v) in
+        inbox.(v) <- [];
+        states.(v) <- s;
+        List.iter (send v) out
+      end
+      else inbox.(v) <- []
+    done;
+    commit_round ~active:!active;
+    reset_loads ();
+    idle := if !msgs_round = 0 && !in_flight = 0 then !idle + 1 else 0
+  done;
+  (match metrics with Some m -> Metrics.add_rounds m !round | None -> ());
+  let verdict =
+    match (Observe.bounds observe, metrics) with
+    | Some b, Some m ->
+        Some
+          (Bounds.check ?c_rounds:b.Observe.c_rounds ?c_bits:b.Observe.c_bits
+             ~bandwidth ~n ~d:b.Observe.d m)
+    | _ -> None
+  in
+  {
+    states;
+    rounds = !round;
+    report =
+      {
+        messages = !total_msgs;
+        bits = !total_bits;
+        max_message_bits = !max_msg_bits;
+        max_round_edge_bits = !max_burst;
+        active_peak = !active_peak;
+        verdict;
+      };
+  }
+
+(* One entry point, two engines: the clean flat-array loop whenever no
+   fault plan is installed — kept bit-identical to the pre-fault engine
+   and allocation-free per round — and the clocked fault-aware loop when
+   one is. *)
+let exec ?bandwidth ?max_rounds ?observe ?faults g proto =
+  match faults with
+  | None -> exec_clean ?bandwidth ?max_rounds ?observe g proto
+  | Some plan -> exec_faulty ~plan ?bandwidth ?max_rounds ?observe g proto
+
 
 (* The pre-redesign engine, kept verbatim as the deprecated shim: the
    differential tests and bench/engine.ml run it side by side with

@@ -36,9 +36,15 @@ type ('s, 'm) protocol = {
           in the order that sender listed them in its outbox. Protocols
           may rely on this; it is deterministic by construction. *)
   msg_bits : 'm -> int;
+      (** the size in bits charged for a message — the protocol declares
+          its own coding, the engine enforces the budget. *)
 }
+(** A node-level synchronous protocol: what a node does at wake-up and
+    in every round in which it receives mail. *)
 
 exception Bandwidth_exceeded of { round : int; u : int; v : int; bits : int }
+(** A node pushed more than [bandwidth] bits over one directed edge in
+    one round — the CONGEST restriction, enforced rather than queued. *)
 
 exception No_quiescence of { round : int; active : int; messages : int }
 (** Raised by {!exec} when [max_rounds] elapse without quiescence:
@@ -67,11 +73,14 @@ type report = {
     {!Observe.none}. *)
 
 type 's run_result = { states : 's array; rounds : int; report : report }
+(** What {!exec} returns: every node's final state, the number of rounds
+    executed, and the engine's {!report}. *)
 
 val exec :
   ?bandwidth:int ->
   ?max_rounds:int ->
   ?observe:Observe.t ->
+  ?faults:Fault.plan ->
   Gr.t ->
   ('s, 'm) protocol ->
   's run_result
@@ -81,6 +90,21 @@ val exec :
     [observe] (default {!Observe.none}). Successive runs on the same
     metrics sink continue one round timeline: this run's round numbers
     are offset by [Metrics.rounds] at entry.
+
+    With no [faults] plan installed (the default) the run executes on
+    the clean flat-array loop — bit-identical to the pre-fault engine,
+    allocation-free per round, delivery order exactly as documented on
+    {!type:protocol}. Installing a {!Fault.plan} switches the run to the
+    fault-aware {e clocked} loop: messages are dropped, duplicated,
+    reordered or delayed and nodes crash and restart as the plan
+    dictates; every live node then takes a step {e every} round (with an
+    empty inbox when nothing arrived), which is the clock
+    timeout-driven recovery layers such as {!Reliable} run on, and the
+    run ends only after the plan's grace period of consecutive quiet
+    rounds. Fault events are counted into the metrics sink
+    ({!Metrics.faults}) and recorded on the trace timeline
+    ({!Trace.on_fault}). Same plan spec + same seed ⇒ identical run.
+    DESIGN.md §9 specifies the fault model precisely.
     @raise Bandwidth_exceeded when a node over-sends on an edge.
     @raise No_quiescence if [max_rounds] (default [16 * n + 64]) elapse
     without quiescence — a livelock guard for buggy protocols.

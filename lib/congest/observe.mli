@@ -16,18 +16,23 @@
     entry point. *)
 
 type t
+(** A bundle of observation requests: zero or one of each sink kind. *)
 
 type bounds = {
   d : int;  (** the network diameter the caller measured or knows. *)
   c_rounds : int option;  (** round-bound constant; [None] = default. *)
   c_bits : int option;  (** message-bits constant; [None] = default. *)
 }
+(** A self-check request: the inputs {!Bounds.check} needs beyond what
+    the run itself provides. Build one with {!bounds_spec}. *)
 
 val none : t
 (** Observe nothing: the engine keeps only the flat counters of its own
     {!Network.report}. *)
 
 val make : ?metrics:Metrics.t -> ?trace:Trace.t -> ?bounds:bounds -> unit -> t
+(** Compose an observer from the sinks given; omitted arguments mean
+    "don't record that". [make ()] is {!none}. *)
 
 val of_metrics : Metrics.t -> t
 (** Shorthand for [make ~metrics ()]. *)
@@ -43,8 +48,13 @@ val bounds_spec : ?c_rounds:int -> ?c_bits:int -> d:int -> unit -> bounds
     computable. *)
 
 val metrics : t -> Metrics.t option
+(** The metrics sink, if one was requested. *)
+
 val trace : t -> Trace.t option
+(** The trace journal, if one was requested. *)
+
 val bounds : t -> bounds option
+(** The bounds request, if one was made. *)
 
 val sinks : t -> t
 (** The observer with any bounds request dropped — for layers (e.g. the

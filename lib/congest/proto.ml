@@ -5,7 +5,16 @@ let word_of g =
   let rec bits_needed k acc = if k <= 1 then acc else bits_needed (k / 2) (acc + 1) in
   bits_needed (n - 1) 1
 
-let leader_bfs ?observe ?bandwidth g =
+
+(* Protocol entry points run clean by default; installing a fault plan
+   routes them through the reliable link layer over the fault-aware
+   engine, so each primitive survives lossy links unmodified. *)
+let exec_net ?bandwidth ?observe ?faults g proto =
+  match faults with
+  | None -> Network.exec ?bandwidth ?observe g proto
+  | Some plan -> Reliable.exec ?bandwidth ?observe ~faults:plan g proto
+
+let leader_bfs ?observe ?bandwidth ?faults g =
   if Gr.n g = 0 then invalid_arg "Proto.leader_bfs: empty network";
   let word = word_of g in
   let announce g v st =
@@ -34,7 +43,7 @@ let leader_bfs ?observe ?bandwidth g =
       msg_bits = (fun (_root, _d) -> 2 * word);
     }
   in
-  (Network.exec ?bandwidth ?observe g proto).Network.states
+  (exec_net ?bandwidth ?observe ?faults g proto).Network.states
 
 (* Convergecast over an explicitly given tree. Each node knows its child
    count (in a real network, children identify themselves during the BFS
@@ -49,7 +58,7 @@ let children_counts n parent root =
     parent;
   cnt
 
-let convergecast ?observe ?bandwidth g ~parent ~root ~values ~op ~value_bits =
+let convergecast ?observe ?bandwidth ?faults g ~parent ~root ~values ~op ~value_bits =
   let n = Gr.n g in
   if Array.length parent <> n || Array.length values <> n then
     invalid_arg "Proto.convergecast: bad arrays";
@@ -78,10 +87,10 @@ let convergecast ?observe ?bandwidth g ~parent ~root ~values ~op ~value_bits =
       msg_bits = (fun _ -> value_bits);
     }
   in
-  let r = Network.exec ?bandwidth ?observe g proto in
+  let r = exec_net ?bandwidth ?observe ?faults g proto in
   r.Network.states.(root).acc
 
-let subtree_sizes ?observe ?bandwidth g ~parent ~root =
+let subtree_sizes ?observe ?bandwidth ?faults g ~parent ~root =
   let n = Gr.n g in
   if Array.length parent <> n then invalid_arg "Proto.subtree_sizes: bad parent";
   let word = word_of g in
@@ -110,10 +119,10 @@ let subtree_sizes ?observe ?bandwidth g ~parent ~root =
       msg_bits = (fun _ -> word);
     }
   in
-  let r = Network.exec ?bandwidth ?observe g proto in
+  let r = exec_net ?bandwidth ?observe ?faults g proto in
   Array.map (fun st -> st.acc) r.Network.states
 
-let broadcast ?observe ?bandwidth g ~parent ~root ~value ~value_bits =
+let broadcast ?observe ?bandwidth ?faults g ~parent ~root ~value ~value_bits =
   let n = Gr.n g in
   if Array.length parent <> n then invalid_arg "Proto.broadcast: bad parent";
   let kids = Array.make n [] in
@@ -134,7 +143,7 @@ let broadcast ?observe ?bandwidth g ~parent ~root ~value ~value_bits =
       msg_bits = (fun _ -> value_bits);
     }
   in
-  let r = Network.exec ?bandwidth ?observe g proto in
+  let r = exec_net ?bandwidth ?observe ?faults g proto in
   Array.map
     (function Some x -> x | None -> invalid_arg "Proto.broadcast: unreached node")
     r.Network.states

@@ -9,16 +9,29 @@
     All entry points run on {!Network.exec} and accept one unified
     [?observe] sink ({!Observe.t}): pass [Observe.of_metrics m] /
     [Observe.of_trace tr] / [Observe.make ~metrics ~trace ()] where the
-    pre-redesign API took separate [?metrics] and [?trace] arguments. *)
+    pre-redesign API took separate [?metrics] and [?trace] arguments.
+
+    Each also accepts a [?faults] plan ({!Fault.plan}): when one is
+    installed the protocol runs {!Reliable}-wrapped on the fault-aware
+    engine, so the primitive computes the same result over lossy,
+    reordering, crash-restarting links — at the price of acknowledgement
+    traffic, retransmission rounds and the plan's quiescence grace
+    period. Without a plan, execution is the clean engine, bit-identical
+    to the pre-fault behavior. *)
 
 type bfs_state = {
   leader : int;  (** maximum id in the network. *)
   dist : int;  (** hop distance to the leader. *)
   parent : int;  (** BFS parent ([leader]'s parent is itself). *)
 }
+(** What every node knows when {!leader_bfs} quiesces. *)
 
 val leader_bfs :
-  ?observe:Observe.t -> ?bandwidth:int -> Gr.t -> bfs_state array
+  ?observe:Observe.t ->
+  ?bandwidth:int ->
+  ?faults:Fault.plan ->
+  Gr.t ->
+  bfs_state array
 (** Flood the maximum id while relaxing distances: quiesces in [O(D)]
     rounds with every node knowing the leader, its BFS distance and a BFS
     parent. The network must be connected and non-empty. *)
@@ -26,6 +39,7 @@ val leader_bfs :
 val convergecast :
   ?observe:Observe.t ->
   ?bandwidth:int ->
+  ?faults:Fault.plan ->
   Gr.t ->
   parent:int array ->
   root:int ->
@@ -40,6 +54,7 @@ val convergecast :
 val subtree_sizes :
   ?observe:Observe.t ->
   ?bandwidth:int ->
+  ?faults:Fault.plan ->
   Gr.t ->
   parent:int array ->
   root:int ->
@@ -51,6 +66,7 @@ val subtree_sizes :
 val broadcast :
   ?observe:Observe.t ->
   ?bandwidth:int ->
+  ?faults:Fault.plan ->
   Gr.t ->
   parent:int array ->
   root:int ->

@@ -5,6 +5,7 @@ type event =
   | Span_close of { name : string; round : int; attrs : attr list }
   | Round of { round : int; active : int; messages : int; bits : int }
   | Message of { round : int; src : int; dst : int; bits : int }
+  | Fault of { round : int; kind : string; src : int; dst : int }
   | Note of { name : string; value : int; round : int }
 
 type span = {
@@ -85,6 +86,8 @@ let on_round t ~round ~active ~messages ~bits =
 let on_message t ~round ~src ~dst ~bits =
   if t.keep_messages then push t (Message { round; src; dst; bits })
 
+let on_fault t ~round ~kind ~src ~dst = push t (Fault { round; kind; src; dst })
+
 let note t name value ~round = push t (Note { name; value; round })
 let events t = List.rev t.events_rev
 
@@ -93,6 +96,7 @@ let spans t =
     (List.sort (fun (a, _) (b, _) -> compare a b) t.spans_rev)
 
 let open_spans t = List.length t.stack
+let open_span_names t = List.map (fun (name, _, _) -> name) t.stack
 let dropped t = t.dropped
 
 let summary t =
@@ -248,6 +252,26 @@ let to_buffer ?(name = "trace") ?(meta = []) ?metrics t b =
               json_field b f "max_round_bits" (fun () ->
                   Buffer.add_string b (string_of_int burst));
               Buffer.add_char b '}')));
+  let faults =
+    List.filter_map
+      (function
+        | Fault { round; kind; src; dst } -> Some (round, kind, src, dst)
+        | _ -> None)
+      (events t)
+  in
+  if faults <> [] then
+    json_field b first "faults" (fun () ->
+        json_list b faults (fun (round, kind, src, dst) ->
+            Buffer.add_char b '{';
+            let f = ref true in
+            json_field b f "round" (fun () ->
+                Buffer.add_string b (string_of_int round));
+            json_field b f "kind" (fun () -> json_str b kind);
+            json_field b f "src" (fun () ->
+                Buffer.add_string b (string_of_int src));
+            json_field b f "dst" (fun () ->
+                Buffer.add_string b (string_of_int dst));
+            Buffer.add_char b '}'));
   if t.keep_messages then
     json_field b first "messages" (fun () ->
         json_list b

@@ -25,14 +25,24 @@ type attr = string * int
 
 type event =
   | Span_open of { name : string; round : int }
+      (** A named phase began at [round]. *)
   | Span_close of { name : string; round : int; attrs : attr list }
+      (** The innermost open phase ended at [round]. *)
   | Round of { round : int; active : int; messages : int; bits : int }
       (** One executed simulator round: how many nodes computed, how many
           messages they sent, and the total bits of those messages. *)
   | Message of { round : int; src : int; dst : int; bits : int }
       (** Recorded only when the trace was created with
           [~keep_messages:true]. *)
+  | Fault of { round : int; kind : string; src : int; dst : int }
+      (** One injected fault (see {!Fault}): [kind] is ["drop"],
+          ["duplicate"], ["reorder"], ["delay"], ["crash-lost"],
+          ["crash"] or ["restart"]; node-level events carry the node in
+          [src] and [-1] in [dst]. Always recorded (fault events are rare
+          and load-bearing, unlike per-message records). *)
   | Note of { name : string; value : int; round : int }
+      (** A named scalar observation. *)
+(** Everything the journal can record. *)
 
 type span = {
   name : string;
@@ -41,8 +51,10 @@ type span = {
   end_round : int;
   attrs : attr list;
 }
+(** One completed span, assembled from its open/close event pair. *)
 
 type t
+(** A mutable, append-only trace journal. *)
 
 val create : ?keep_messages:bool -> ?max_events:int -> unit -> t
 (** A fresh, empty trace. [keep_messages] (default [false]) records
@@ -50,8 +62,11 @@ val create : ?keep_messages:bool -> ?max_events:int -> unit -> t
     [200_000]) bounds the journal. *)
 
 val keep_messages : t -> bool
+(** Whether this trace records individual messages. *)
 
 val span_open : t -> string -> round:int -> unit
+(** Open a named span at the given round (see {!span_close}). *)
+
 val span_close : t -> ?attrs:attr list -> round:int -> unit -> unit
 (** Close the innermost open span. @raise Invalid_argument if none. *)
 
@@ -61,10 +76,18 @@ val with_span : t option -> string -> clock:(unit -> int) -> (unit -> 'a) -> 'a
     is closed even if [f] raises. *)
 
 val on_round : t -> round:int -> active:int -> messages:int -> bits:int -> unit
+(** Record one executed simulator round ({!Network.exec} calls this). *)
+
 val on_message : t -> round:int -> src:int -> dst:int -> bits:int -> unit
 (** No-op unless [keep_messages] was set. *)
 
+val on_fault : t -> round:int -> kind:string -> src:int -> dst:int -> unit
+(** Record one injected fault on the round timeline (the fault-aware
+    engine calls this; see the {!type:event} constructor for the kind
+    vocabulary). *)
+
 val note : t -> string -> int -> round:int -> unit
+(** Record a named scalar observation at the given round. *)
 
 val events : t -> event list
 (** All recorded events, in order. *)
@@ -74,6 +97,11 @@ val spans : t -> span list
 
 val open_spans : t -> int
 (** Spans opened but not yet closed (non-zero after an aborted run). *)
+
+val open_span_names : t -> string list
+(** The names of the spans still open, innermost first — after an
+    aborted run, the head is the phase that was executing when the run
+    died (the [trace] CLI prints it in its livelock diagnosis). *)
 
 val dropped : t -> int
 (** Events discarded because the [max_events] bound was hit. *)
@@ -99,7 +127,9 @@ val write_json :
 (** Emit the JSON journal (schema ["distplanar-trace/1"], documented in
     EXPERIMENTS.md): run metadata, completed spans, notes, the per-round
     histogram and per-directed-edge load table of [metrics] when given,
-    and individual messages when kept. *)
+    fault events when any were recorded, and individual messages when
+    kept. *)
 
 val to_json_string :
   ?name:string -> ?meta:(string * int) list -> ?metrics:Metrics.t -> t -> string
+(** {!write_json} into a string (tests diff against this). *)

@@ -53,11 +53,22 @@ val run :
   ?checks:bool ->
   ?base_size:int ->
   ?observe:Observe.t ->
+  ?faults:Fault.plan ->
   Gr.t ->
   outcome
 (** @raise Invalid_argument on an empty or disconnected network.
     [mode] defaults to [Faithful]; [checks] (default off) validates every
     merge against the safety invariants.
+
+    Installing a [faults] plan ({!Fault.plan}) subjects the run's real
+    message-passing — the phase-1 leader election, BFS construction and
+    convergecast — to the plan's drops, duplicates, reordering, delays
+    and crash-restarts, with the protocols {!Reliable}-wrapped so the
+    result is still exact; the recursion's cost-model phases are
+    orchestrated, not message-passing, and proceed unchanged. Rounds and
+    fault events land on the same metrics/trace timeline as the clean
+    run ([distplanar chaos] is the command-line front end; DESIGN.md §9
+    specifies the model).
 
     Observation goes through the one [observe] sink: a metrics sink
     there becomes the run's accounting (and is returned in the report;

@@ -89,10 +89,13 @@ let run_legacy proto g =
 let run_exec proto g =
   let m = Metrics.create g in
   let tr = Trace.create ~keep_messages:true () in
+  (* [?faults:None] is passed explicitly: every diff in this file also
+     pins the fault dispatcher's no-plan path to the clean engine, so
+     the fault layer cannot perturb a clean run even by one event. *)
   let r =
     Network.exec ~bandwidth:4096
       ~observe:(Observe.make ~metrics:m ~trace:tr ())
-      g proto
+      ?faults:None g proto
   in
   (r, m, tr)
 
