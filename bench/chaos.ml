@@ -109,22 +109,26 @@ type sweep = {
   euler_ok : bool;
 }
 
-let run_sweep name g ~drops ~seed =
+let run_sweep ?(jobs = 1) name g ~drops ~seed =
   let clean = Embedder.run g in
   let clean_rounds = clean.Embedder.report.Embedder.rounds in
-  List.map
-    (fun drop ->
-      let plan =
-        Fault.make ~spec:{ Fault.default with drop } ~seed ()
-      in
-      let o = Embedder.run ~faults:plan g in
-      let st = Fault.stats plan in
-      let euler_ok =
-        match o.Embedder.rotation with
-        | Some rot -> Rotation.is_planar_embedding rot
-        | None -> false
-      in
-      let c =
+  (* Each drop rate is an independent fault-injected run with its own
+     plan, so the sweep fans out over the Pool when --jobs asks; records
+     come back in drop order and are printed serially, so the output and
+     the JSON are byte-identical at any job count. The wall-timed
+     overhead section and the sequential crash section stay serial. *)
+  let drops = Array.of_list drops in
+  let rows =
+    Pool.map ~jobs (Array.length drops) (fun i ->
+        let drop = drops.(i) in
+        let plan = Fault.make ~spec:{ Fault.default with drop } ~seed () in
+        let o = Embedder.run ~faults:plan g in
+        let st = Fault.stats plan in
+        let euler_ok =
+          match o.Embedder.rotation with
+          | Some rot -> Rotation.is_planar_embedding rot
+          | None -> false
+        in
         {
           s_name = name;
           s_n = Gr.n g;
@@ -134,19 +138,20 @@ let run_sweep name g ~drops ~seed =
           s_rounds = o.Embedder.report.Embedder.rounds;
           dropped = st.Fault.dropped;
           euler_ok;
-        }
-      in
-      Printf.printf
-        "sweep    %-16s n=%-6d drop=%.2f  %5d rounds (clean %5d, %+.1f%%)  \
-         %5d dropped  %s\n%!"
-        c.s_name c.s_n c.drop c.s_rounds c.s_clean_rounds
-        (100.0
-        *. (float_of_int c.s_rounds -. float_of_int c.s_clean_rounds)
-        /. float_of_int (max 1 c.s_clean_rounds))
-        c.dropped
-        (if c.euler_ok then "euler ok" else "EULER FAILED");
-      c)
-    drops
+        })
+  in
+  Array.to_list rows
+  |> List.map (fun c ->
+         Printf.printf
+           "sweep    %-16s n=%-6d drop=%.2f  %5d rounds (clean %5d, %+.1f%%)  \
+            %5d dropped  %s\n%!"
+           c.s_name c.s_n c.drop c.s_rounds c.s_clean_rounds
+           (100.0
+           *. (float_of_int c.s_rounds -. float_of_int c.s_clean_rounds)
+           /. float_of_int (max 1 c.s_clean_rounds))
+           c.dropped
+           (if c.euler_ok then "euler ok" else "EULER FAILED");
+         c)
 
 (* ------------------------------------------------------------------ *)
 (* Section 3: crash-restart recovery under reliable leader+BFS         *)
@@ -264,6 +269,7 @@ let json ~overheads ~sweeps ~crashes =
 let () =
   let quick = ref false in
   let out = ref "BENCH_chaos.json" in
+  let jobs = ref 1 in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -272,6 +278,14 @@ let () =
     | "--out" :: file :: rest ->
         out := file;
         parse rest
+    | "--jobs" :: k :: rest -> (
+        match int_of_string_opt k with
+        | Some k when k >= 1 ->
+            jobs := k;
+            parse rest
+        | _ ->
+            Printf.eprintf "chaos: --jobs expects a positive integer\n";
+            exit 2)
     | arg :: _ ->
         Printf.eprintf "chaos: unknown argument %s\n" arg;
         exit 2
@@ -284,7 +298,8 @@ let () =
     if !quick then begin
       let o1 = run_overhead "grid-12x12" (Gen.grid 12 12) in
       let s1 =
-        run_sweep "grid-12x12" (Gen.grid 12 12) ~drops:[ 0.0; 0.05 ] ~seed:11
+        run_sweep ~jobs:!jobs "grid-12x12" (Gen.grid 12 12)
+          ~drops:[ 0.0; 0.05 ] ~seed:11
       in
       let c1 = run_crash "cycle-64" (Gen.cycle 64) ~node:5 ~at:4 ~restart:12 in
       ([ o1 ], s1, [ c1 ])
@@ -292,10 +307,10 @@ let () =
     else begin
       let o1 = run_overhead "grid-32x32" (Gen.grid 32 32) in
       let o2 = run_overhead "cycle-1k" (Gen.cycle 1_000) in
-      let s1 = run_sweep "grid-24x24" (Gen.grid 24 24) ~drops ~seed:11 in
-      let s2 = run_sweep "cycle-128" (Gen.cycle 128) ~drops ~seed:11 in
+      let s1 = run_sweep ~jobs:!jobs "grid-24x24" (Gen.grid 24 24) ~drops ~seed:11 in
+      let s2 = run_sweep ~jobs:!jobs "cycle-128" (Gen.cycle 128) ~drops ~seed:11 in
       let s3 =
-        run_sweep "maxplanar-400"
+        run_sweep ~jobs:!jobs "maxplanar-400"
           (Gen.random_maximal_planar ~seed:3 400)
           ~drops ~seed:11
       in

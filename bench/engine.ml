@@ -92,53 +92,89 @@ type case = {
   identical : bool;
 }
 
-let run_case name g proto =
-  (* Identity pass, observed: both engines into fresh metrics sinks. *)
-  let m_old = Metrics.create g in
-  let s_old_obs = Network.run ~bandwidth:4096 ~metrics:m_old g proto in
-  let m_new = Metrics.create g in
-  let r_obs =
-    Network.exec ~bandwidth:4096 ~observe:(Observe.of_metrics m_new) g proto
+(* A case is split into two closures so the driver can schedule them
+   differently: the identity pass (both engines, observed, results
+   compared — CPU-bound and independent across cases, so it fans out
+   over the Pool when --jobs asks) and the timing pass (bare runs whose
+   wall-clock numbers are the product, so it always runs serially on an
+   otherwise idle process). The closures hide the per-case state type,
+   which lets heterogeneous protocols share one case list. *)
+type prepared = {
+  p_name : string;
+  p_n : int;
+  p_m : int;
+  p_identity : unit -> bool * int;  (* identical?, rounds *)
+  p_timing : unit -> float * float * float * float * bool;
+}
+
+let prep name g proto =
+  let identity () =
+    let m_old = Metrics.create g in
+    let s_old_obs = Network.run ~bandwidth:4096 ~metrics:m_old g proto in
+    let m_new = Metrics.create g in
+    let r_obs =
+      Network.exec ~bandwidth:4096 ~observe:(Observe.of_metrics m_new) g proto
+    in
+    ( s_old_obs = r_obs.Network.states
+      && Metrics.rounds m_old = r_obs.Network.rounds
+      && Metrics.messages m_old = Metrics.messages m_new
+      && Metrics.total_bits m_old = Metrics.total_bits m_new
+      && Metrics.max_message_bits m_old = Metrics.max_message_bits m_new
+      && Metrics.max_round_edge_bits m_old = Metrics.max_round_edge_bits m_new
+      && Metrics.round_log m_old = Metrics.round_log m_new
+      && dir_table m_old = dir_table m_new,
+      r_obs.Network.rounds )
   in
-  let identical =
-    s_old_obs = r_obs.Network.states
-    && Metrics.rounds m_old = r_obs.Network.rounds
-    && Metrics.messages m_old = Metrics.messages m_new
-    && Metrics.total_bits m_old = Metrics.total_bits m_new
-    && Metrics.max_message_bits m_old = Metrics.max_message_bits m_new
-    && Metrics.max_round_edge_bits m_old = Metrics.max_round_edge_bits m_new
-    && Metrics.round_log m_old = Metrics.round_log m_new
-    && dir_table m_old = dir_table m_new
+  let timing () =
+    let (s_old, old_wall, old_words) =
+      measure (fun () -> Network.run ~bandwidth:4096 g proto)
+    in
+    let (r_new, new_wall, new_words) =
+      measure (fun () -> Network.exec ~bandwidth:4096 g proto)
+    in
+    (old_wall, old_words, new_wall, new_words, s_old = r_new.Network.states)
   in
-  (* Timing pass, bare: no sinks, engine overhead only. *)
-  let (s_old, old_wall, old_words) =
-    measure (fun () -> Network.run ~bandwidth:4096 g proto)
+  {
+    p_name = name;
+    p_n = Gr.n g;
+    p_m = Gr.m g;
+    p_identity = identity;
+    p_timing = timing;
+  }
+
+let run_cases ~jobs prepped =
+  let arr = Array.of_list prepped in
+  let identities =
+    Pool.map ~jobs (Array.length arr) (fun i -> arr.(i).p_identity ())
   in
-  let (r_new, new_wall, new_words) =
-    measure (fun () -> Network.exec ~bandwidth:4096 g proto)
-  in
-  let identical = identical && s_old = r_new.Network.states in
-  let c =
-    {
-      name;
-      n = Gr.n g;
-      m = Gr.m g;
-      rounds = r_obs.Network.rounds;
-      old_wall;
-      new_wall;
-      old_words;
-      new_words;
-      identical;
-    }
-  in
-  Printf.printf
-    "%-28s n=%-7d rounds=%-5d  old %8.3fs %12.0fw   new %8.3fs %12.0fw   \
-     %5.1fx wall %6.1fx words  %s\n%!"
-    c.name c.n c.rounds c.old_wall c.old_words c.new_wall c.new_words
-    (c.old_wall /. max 1e-9 c.new_wall)
-    (c.old_words /. max 1. c.new_words)
-    (if c.identical then "identical" else "MISMATCH");
-  c
+  List.mapi
+    (fun i p ->
+      let (id_ok, rounds) = identities.(i) in
+      let (old_wall, old_words, new_wall, new_words, states_ok) =
+        p.p_timing ()
+      in
+      let c =
+        {
+          name = p.p_name;
+          n = p.p_n;
+          m = p.p_m;
+          rounds;
+          old_wall;
+          new_wall;
+          old_words;
+          new_words;
+          identical = id_ok && states_ok;
+        }
+      in
+      Printf.printf
+        "%-28s n=%-7d rounds=%-5d  old %8.3fs %12.0fw   new %8.3fs %12.0fw   \
+         %5.1fx wall %6.1fx words  %s\n%!"
+        c.name c.n c.rounds c.old_wall c.old_words c.new_wall c.new_words
+        (c.old_wall /. max 1e-9 c.new_wall)
+        (c.old_words /. max 1. c.new_words)
+        (if c.identical then "identical" else "MISMATCH");
+      c)
+    prepped
 
 let json_of_cases cases =
   let b = Buffer.create 4096 in
@@ -168,6 +204,7 @@ let json_of_cases cases =
 let () =
   let quick = ref false in
   let out = ref "BENCH_engine.json" in
+  let jobs = ref 1 in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -176,36 +213,39 @@ let () =
     | "--out" :: file :: rest ->
         out := file;
         parse rest
+    | "--jobs" :: k :: rest -> (
+        match int_of_string_opt k with
+        | Some k when k >= 1 ->
+            jobs := k;
+            parse rest
+        | _ ->
+            Printf.eprintf "engine: --jobs expects a positive integer\n";
+            exit 2)
     | arg :: _ ->
         Printf.eprintf "engine: unknown argument %s\n" arg;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  (* Sequence the cases explicitly: a list literal of effectful calls
-     would evaluate (and print) right to left. *)
-  let cases =
-    if !quick then begin
-      let c1 = run_case "grid-100x100/flood" (Gen.grid 100 100) flood in
-      let c2 = run_case "grid-100x100/bfs-wave" (Gen.grid 100 100) bfs_wave in
-      let n = 10_000 in
-      let c3 =
-        run_case "cycle-10k/token-ring" (Gen.cycle n) (token_ring n 2_000)
-      in
-      [ c1; c2; c3 ]
-    end
-    else begin
-      let c1 = run_case "grid-100x100/flood" (Gen.grid 100 100) flood in
-      let c2 = run_case "grid-100x100/bfs-wave" (Gen.grid 100 100) bfs_wave in
-      let c3 = run_case "grid-250x400/flood" (Gen.grid 250 400) flood in
-      let c4 = run_case "grid-250x400/bfs-wave" (Gen.grid 250 400) bfs_wave in
-      let c5 = run_case "cycle-10k/flood" (Gen.cycle 10_000) flood in
-      let n = 100_000 in
-      let c6 =
-        run_case "cycle-100k/token-ring" (Gen.cycle n) (token_ring n 5_000)
-      in
-      [ c1; c2; c3; c4; c5; c6 ]
-    end
+  let prepped =
+    if !quick then
+      [
+        prep "grid-100x100/flood" (Gen.grid 100 100) flood;
+        prep "grid-100x100/bfs-wave" (Gen.grid 100 100) bfs_wave;
+        (let n = 10_000 in
+         prep "cycle-10k/token-ring" (Gen.cycle n) (token_ring n 2_000));
+      ]
+    else
+      [
+        prep "grid-100x100/flood" (Gen.grid 100 100) flood;
+        prep "grid-100x100/bfs-wave" (Gen.grid 100 100) bfs_wave;
+        prep "grid-250x400/flood" (Gen.grid 250 400) flood;
+        prep "grid-250x400/bfs-wave" (Gen.grid 250 400) bfs_wave;
+        prep "cycle-10k/flood" (Gen.cycle 10_000) flood;
+        (let n = 100_000 in
+         prep "cycle-100k/token-ring" (Gen.cycle n) (token_ring n 5_000));
+      ]
   in
+  let cases = run_cases ~jobs:!jobs prepped in
   let oc = open_out !out in
   output_string oc (json_of_cases cases);
   close_out oc;

@@ -1,0 +1,293 @@
+(* Scaling benchmark for the multicore layer.
+
+   Two sections:
+
+     tier-a   strong scaling of the sharded round loop: the same run at
+              domains = 1/2/4/8 on a dense flood and on the embedder's
+              phase-1 protocols, with every sharded result checked
+              bit-identical to the sequential one before its time is
+              reported.
+     tier-b   pool throughput: a seeded chaos sweep (independent
+              fault-injected embedder runs) executed serially and then
+              through Pool.map, results compared run by run.
+
+   Wall-clock time is what parallelism buys, so this bench measures
+   Unix.gettimeofday, not CPU time — on a single-core machine the
+   sharded runs pay barrier overhead and the pool pays scheduling for no
+   speedup, and the JSON records exactly that, along with the measured
+   core count ("cores") so readers can tell a scaling result from a
+   single-core smoke run.
+
+     dune exec bench/parallel.exe              # full sweep
+     dune exec bench/parallel.exe -- --quick   # CI smoke: small cases;
+                                               # identity always gated,
+                                               # wall gates only when
+                                               # cores >= 4
+     dune exec bench/parallel.exe -- --out F   # write the JSON to F *)
+
+let to_all g v msg =
+  Gr.fold_neighbors g v ~init:[] ~f:(fun acc w -> (w, msg) :: acc)
+
+let flood =
+  {
+    Network.init = (fun g v -> (v, to_all g v v));
+    round =
+      (fun g v best inbox ->
+        let best' = List.fold_left (fun acc (_, x) -> max acc x) best inbox in
+        if best' = best then (best, []) else (best', to_all g v best'));
+    msg_bits = (fun _ -> 12);
+  }
+
+let wall f =
+  Gc.full_major ();
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let domain_counts = [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Tier A: one run, sharded                                            *)
+(* ------------------------------------------------------------------ *)
+
+type scaling = {
+  a_name : string;
+  a_n : int;
+  a_rounds : int;
+  (* (domains, wall seconds, identical-to-sequential) per count *)
+  a_points : (int * float * bool) list;
+}
+
+let scale_flood name g =
+  let (base, base_wall) = wall (fun () -> Network.exec ~bandwidth:4096 g flood) in
+  let points =
+    List.map
+      (fun d ->
+        if d = 1 then (1, base_wall, true)
+        else begin
+          let (r, w) =
+            wall (fun () -> Network.exec ~domains:d ~bandwidth:4096 g flood)
+          in
+          ( d,
+            w,
+            r.Network.states = base.Network.states
+            && r.Network.rounds = base.Network.rounds
+            && r.Network.report = base.Network.report )
+        end)
+      domain_counts
+  in
+  { a_name = name; a_n = Gr.n g; a_rounds = base.Network.rounds; a_points = points }
+
+let scale_embedder name g =
+  let outcome d = Embedder.run ?domains:(if d = 1 then None else Some d) g in
+  let (base, base_wall) = wall (fun () -> outcome 1) in
+  let rot_table r =
+    let g = Rotation.graph r in
+    Array.init (Gr.n g) (fun v -> Rotation.rotation r v)
+  in
+  let fingerprint (o : Embedder.outcome) =
+    ( (match o.Embedder.rotation with
+      | Some r -> Some (rot_table r)
+      | None -> None),
+      o.Embedder.report.Embedder.rounds )
+  in
+  let fp0 = fingerprint base in
+  let points =
+    List.map
+      (fun d ->
+        if d = 1 then (1, base_wall, true)
+        else begin
+          let (o, w) = wall (fun () -> outcome d) in
+          (d, w, fingerprint o = fp0)
+        end)
+      domain_counts
+  in
+  {
+    a_name = name;
+    a_n = Gr.n g;
+    a_rounds = base.Embedder.report.Embedder.rounds;
+    a_points = points;
+  }
+
+let print_scaling c =
+  Printf.printf "tier-a   %-24s n=%-7d rounds=%-5d " c.a_name c.a_n c.a_rounds;
+  let w1 =
+    match c.a_points with (1, w, _) :: _ -> w | _ -> assert false
+  in
+  List.iter
+    (fun (d, w, ok) ->
+      Printf.printf " d=%d %7.3fs (%4.2fx)%s" d w (w1 /. max 1e-9 w)
+        (if ok then "" else " MISMATCH"))
+    c.a_points;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Tier B: many runs, pooled                                           *)
+(* ------------------------------------------------------------------ *)
+
+type pool_case = {
+  b_name : string;
+  b_runs : int;
+  b_jobs : int;
+  serial_wall : float;
+  pooled_wall : float;
+  b_identical : bool;
+}
+
+let chaos_sweep name g ~runs ~jobs =
+  (* Independent fault-injected embedder runs, one plan per seed — the
+     `distplanar chaos --runs` shape. Each task builds every bit of its
+     own state, so pooling it is exactly the advertised use. *)
+  let one i =
+    let plan = Fault.make ~spec:{ Fault.default with drop = 0.05 } ~seed:(100 + i) () in
+    let o = Embedder.run ~faults:plan g in
+    let st = Fault.stats plan in
+    ( o.Embedder.report.Embedder.rounds,
+      st.Fault.dropped,
+      match o.Embedder.rotation with
+      | Some r ->
+          Array.to_list
+            (Array.init
+               (Gr.n (Rotation.graph r))
+               (fun v -> Rotation.rotation r v))
+      | None -> [] )
+  in
+  let (serial, serial_wall) = wall (fun () -> Array.init runs one) in
+  let (pooled, pooled_wall) = wall (fun () -> Pool.map ~jobs runs one) in
+  let c =
+    {
+      b_name = name;
+      b_runs = runs;
+      b_jobs = jobs;
+      serial_wall;
+      pooled_wall;
+      b_identical = serial = pooled;
+    }
+  in
+  Printf.printf
+    "tier-b   %-24s %d runs  serial %7.3fs   pool(jobs=%d) %7.3fs (%4.2fx)  %s\n%!"
+    c.b_name c.b_runs c.serial_wall c.b_jobs c.pooled_wall
+    (c.serial_wall /. max 1e-9 c.pooled_wall)
+    (if c.b_identical then "identical" else "MISMATCH");
+  c
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json ~cores ~tier_a ~tier_b =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"benchmark\": \"congest-multicore-scaling\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"cores\": %d,\n" cores);
+  Buffer.add_string b "  \"unit\": { \"wall\": \"seconds\" },\n";
+  Buffer.add_string b "  \"tier_a_strong_scaling\": [\n";
+  List.iteri
+    (fun i c ->
+      let w1 = match c.a_points with (1, w, _) :: _ -> w | _ -> 0. in
+      Buffer.add_string b
+        (Printf.sprintf "    { \"name\": %S, \"n\": %d, \"rounds\": %d, \"points\": [\n"
+           c.a_name c.a_n c.a_rounds);
+      List.iteri
+        (fun j (d, w, ok) ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "      { \"domains\": %d, \"wall_s\": %.6f, \"speedup\": %.3f, \
+                \"identical\": %b }%s\n"
+               d w (w1 /. max 1e-9 w) ok
+               (if j = List.length c.a_points - 1 then "" else ",")))
+        c.a_points;
+      Buffer.add_string b
+        (Printf.sprintf "    ] }%s\n"
+           (if i = List.length tier_a - 1 then "" else ",")))
+    tier_a;
+  Buffer.add_string b "  ],\n  \"tier_b_pool_throughput\": [\n";
+  List.iteri
+    (fun i c ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"name\": %S, \"runs\": %d, \"jobs\": %d, \
+            \"serial_wall_s\": %.6f,\n\
+           \      \"pooled_wall_s\": %.6f, \"throughput_ratio\": %.3f, \
+            \"identical\": %b }%s\n"
+           c.b_name c.b_runs c.b_jobs c.serial_wall c.pooled_wall
+           (c.serial_wall /. max 1e-9 c.pooled_wall)
+           c.b_identical
+           (if i = List.length tier_b - 1 then "" else ",")))
+    tier_b;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let () =
+  let quick = ref false in
+  let out = ref "BENCH_parallel.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--out" :: file :: rest ->
+        out := file;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "parallel: unknown argument %s\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "cores: %d (Domain.recommended_domain_count)\n%!" cores;
+  let tier_a, tier_b =
+    if !quick then begin
+      let a1 = scale_flood "grid-60x60/flood" (Gen.grid 60 60) in
+      print_scaling a1;
+      let a2 = scale_embedder "grid-16x16/embedder" (Gen.grid 16 16) in
+      print_scaling a2;
+      let b1 = chaos_sweep "grid-10x10/chaos" (Gen.grid 10 10) ~runs:8 ~jobs:4 in
+      ([ a1; a2 ], [ b1 ])
+    end
+    else begin
+      let a1 = scale_flood "grid-250x400/flood" (Gen.grid 250 400) in
+      print_scaling a1;
+      let a2 = scale_embedder "grid-40x40/embedder" (Gen.grid 40 40) in
+      print_scaling a2;
+      let b1 = chaos_sweep "grid-16x16/chaos" (Gen.grid 16 16) ~runs:16 ~jobs:4 in
+      ([ a1; a2 ], [ b1 ])
+    end
+  in
+  let oc = open_out !out in
+  output_string oc (json ~cores ~tier_a ~tier_b);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" !out;
+  (* Identity is gated unconditionally: a sharded or pooled run that
+     differs from the sequential one is a bug at any core count. *)
+  let mismatches =
+    List.length
+      (List.concat_map
+         (fun c -> List.filter (fun (_, _, ok) -> not ok) c.a_points)
+         tier_a)
+    + List.length (List.filter (fun c -> not c.b_identical) tier_b)
+  in
+  if mismatches > 0 then begin
+    Printf.eprintf "parallel: %d result(s) differ from sequential\n" mismatches;
+    exit 1
+  end;
+  (* Wall-clock gates need hardware parallelism to be meaningful; on a
+     single- or dual-core runner they are reported but not enforced. *)
+  if !quick && cores >= 4 then begin
+    let slow =
+      List.filter
+        (fun c ->
+          let w1 = List.assoc 1 (List.map (fun (d, w, _) -> (d, w)) c.a_points) in
+          let w4 = List.assoc 4 (List.map (fun (d, w, _) -> (d, w)) c.a_points) in
+          w4 > w1)
+        tier_a
+    in
+    List.iter
+      (fun c ->
+        Printf.eprintf "parallel: domains=4 slower than domains=1 on %s\n"
+          c.a_name)
+      slow;
+    if slow <> [] then exit 1
+  end
+  else if !quick then
+    Printf.printf
+      "wall gates skipped: only %d core(s) available, need >= 4\n" cores

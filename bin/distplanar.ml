@@ -383,6 +383,15 @@ let chaos_cmd =
       value & opt int 1
       & info [ "runs" ] ~doc:"Sweep this many consecutive seeds (seed, seed+1, ...).")
   in
+  let jobs_t =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ]
+          ~doc:
+            "Run the seed sweep on this many domains (Pool.map): results and \
+             output are identical to the serial sweep, only wall time \
+             changes.")
+  in
   let parse_crash s =
     let fail () =
       Printf.eprintf "chaos: cannot parse --crash %S (want NODE@AT[:RESTART])\n" s;
@@ -407,7 +416,7 @@ let chaos_cmd =
     | _ -> fail ()
   in
   let run family n rows cols seglen seed m chord mode drop dup reorder delay
-      max_delay adversarial crash_specs grace runs =
+      max_delay adversarial crash_specs grace runs jobs =
     (* The quickstart says `--family grid --n 1024`: for the grid families,
        an explicit --n with the rows/cols left at their defaults means a
        square sqrt(n) x sqrt(n) grid. *)
@@ -447,41 +456,52 @@ let chaos_cmd =
       drop dup reorder delay max_delay
       (if adversarial then "yes" else "no")
       (List.length crashes) grace;
+    ignore plan;
     let clean = Embedder.run ~mode g in
     let clean_rounds = clean.Embedder.report.Embedder.rounds in
     Printf.printf "clean baseline   : %d rounds\n" clean_rounds;
-    let failures = ref 0 in
-    for i = 0 to runs - 1 do
+    (* Each seed's run builds its own plan, runs, and returns a record;
+       with --jobs the sweep fans out over the domain pool and the
+       records come back in seed order, so the printed report is
+       byte-identical to the serial one. *)
+    let one i =
       let seed = seed + i in
-      let plan = if i = 0 then plan else Fault.make ~spec ~seed () in
-      let verdict, rounds =
+      let plan = Fault.make ~spec ~seed () in
+      let ok, verdict, rounds =
         match Embedder.run ~mode ~faults:plan g with
         | o -> (
             let r = o.Embedder.report.Embedder.rounds in
             match o.Embedder.rotation with
-            | None ->
-                incr failures;
-                ("NOT PLANAR", r)
+            | None -> (false, "NOT PLANAR", r)
             | Some rot ->
-                if Rotation.is_planar_embedding rot then ("planar, Euler ok", r)
-                else (
-                  incr failures;
-                  ("EULER CHECK FAILED", r)))
+                if Rotation.is_planar_embedding rot then
+                  (true, "planar, Euler ok", r)
+                else (false, "EULER CHECK FAILED", r))
         | exception Network.No_quiescence { round; active; _ } ->
-            incr failures;
-            (Printf.sprintf "NO QUIESCENCE (%d nodes still active)" active, round)
+            ( false,
+              Printf.sprintf "NO QUIESCENCE (%d nodes still active)" active,
+              round )
       in
-      let s = Fault.stats plan in
-      Printf.printf
-        "run seed=%-6d : rounds=%-6d (%+.1f%%)  drops=%d dups=%d reorders=%d \
-         delays=%d crash-lost=%d crashes=%d restarts=%d  verdict=%s\n"
-        seed rounds
-        (100.0
-        *. (float_of_int rounds -. float_of_int clean_rounds)
-        /. float_of_int (max 1 clean_rounds))
-        s.Fault.dropped s.Fault.duplicated s.Fault.reordered s.Fault.delayed
-        s.Fault.crash_lost s.Fault.crashes s.Fault.restarts verdict
-    done;
+      (seed, ok, verdict, rounds, Fault.stats plan)
+    in
+    let rows =
+      try Pool.map ~jobs runs one
+      with Pool.Task_failed { exn; _ } -> raise exn
+    in
+    let failures = ref 0 in
+    Array.iter
+      (fun (seed, ok, verdict, rounds, s) ->
+        if not ok then incr failures;
+        Printf.printf
+          "run seed=%-6d : rounds=%-6d (%+.1f%%)  drops=%d dups=%d reorders=%d \
+           delays=%d crash-lost=%d crashes=%d restarts=%d  verdict=%s\n"
+          seed rounds
+          (100.0
+          *. (float_of_int rounds -. float_of_int clean_rounds)
+          /. float_of_int (max 1 clean_rounds))
+          s.Fault.dropped s.Fault.duplicated s.Fault.reordered s.Fault.delayed
+          s.Fault.crash_lost s.Fault.crashes s.Fault.restarts verdict)
+      rows;
     Printf.printf "chaos verdict    : %d/%d runs embedded correctly\n"
       (runs - !failures) runs;
     if !failures > 0 then exit 1
@@ -490,7 +510,7 @@ let chaos_cmd =
     Term.(
       const run $ family_t $ n_t $ rows_t $ cols_t $ seglen_t $ seed_t $ m_t
       $ chord_t $ mode_t $ drop_t $ dup_t $ reorder_t $ delay_t $ max_delay_t
-      $ adversarial_t $ crash_t $ grace_t $ runs_t)
+      $ adversarial_t $ crash_t $ grace_t $ runs_t $ jobs_t)
   in
   Cmd.v
     (Cmd.info "chaos"

@@ -49,6 +49,21 @@ let sort_prefix a k =
     down 0 j
   done
 
+(* Rank of [v] in the sorted slice [a.(lo .. hi)], or -1. This is the
+   engine's per-message neighbor lookup: the sender's own CSR slice is
+   searched (cache-hot across a whole outbox) and the matching dart comes
+   from the reversal involution — no cross-module call, no exception
+   handler, no allocation. *)
+let rec rank (a : int array) lo hi v =
+  if lo > hi then -1
+  else begin
+    let mid = (lo + hi) / 2 in
+    let y = a.(mid) in
+    if y = v then mid
+    else if y < v then rank a (mid + 1) hi v
+    else rank a lo (mid - 1) v
+  end
+
 (* The flat-array engine. All per-round bookkeeping lives in arrays
    preallocated at entry and reused across rounds:
 
@@ -90,6 +105,7 @@ let exec_clean ?bandwidth ?max_rounds ?(observe = Observe.none) g proto =
   let xadj = Gr.dart_offsets g in
   let srcs = Gr.dart_sources g in
   let dedge = Gr.dart_edges g in
+  let rev = Gr.dart_reversals g in
   let nd = Array.length srcs in
   let box : 'm list array = Array.make (max 1 nd) [] in
   let load = Array.make (max 1 nd) 0 in
@@ -108,10 +124,11 @@ let exec_clean ?bandwidth ?max_rounds ?(observe = Observe.none) g proto =
   let active_peak = ref 0 in
   let send u (v, msg) =
     let d =
-      try Gr.dart g ~src:u ~dst:v
-      with Not_found ->
+      let s = rank srcs xadj.(u) (xadj.(u + 1) - 1) v in
+      if s < 0 then
         invalid_arg
-          (Printf.sprintf "Network.run: node %d sent to non-neighbor %d" u v)
+          (Printf.sprintf "Network.run: node %d sent to non-neighbor %d" u v);
+      rev.(s)
     in
     let bits = proto.msg_bits msg in
     (match metrics with
@@ -270,6 +287,7 @@ let exec_faulty ~plan ?bandwidth ?max_rounds ?(observe = Observe.none) g proto =
   let xadj = Gr.dart_offsets g in
   let srcs = Gr.dart_sources g in
   let dedge = Gr.dart_edges g in
+  let rev = Gr.dart_reversals g in
   let nd = Array.length srcs in
   (* A dart is a directed edge, so the metrics slot of each dart is
      fixed; memo it once instead of re-deriving it per message. *)
@@ -323,10 +341,11 @@ let exec_faulty ~plan ?bandwidth ?max_rounds ?(observe = Observe.none) g proto =
   in
   let send u (v, msg) =
     let d =
-      try Gr.dart g ~src:u ~dst:v
-      with Not_found ->
+      let s = rank srcs xadj.(u) (xadj.(u + 1) - 1) v in
+      if s < 0 then
         invalid_arg
-          (Printf.sprintf "Network.run: node %d sent to non-neighbor %d" u v)
+          (Printf.sprintf "Network.run: node %d sent to non-neighbor %d" u v);
+      rev.(s)
     in
     let bits = proto.msg_bits msg in
     (match metrics with
@@ -506,14 +525,463 @@ let exec_faulty ~plan ?bandwidth ?max_rounds ?(observe = Observe.none) g proto =
       };
   }
 
-(* One entry point, two engines: the clean flat-array loop whenever no
-   fault plan is installed — kept bit-identical to the pre-fault engine
-   and allocation-free per round — and the clocked fault-aware loop when
-   one is. *)
-let exec ?bandwidth ?max_rounds ?observe ?faults g proto =
+(* ------------------------------------------------------------------ *)
+(* The domain-sharded BSP engine (Tier A of the multicore layer)       *)
+(* ------------------------------------------------------------------ *)
+
+(* Reusable sense-reversing barrier: the round loop synchronizes its
+   domains three times per round, so the barrier must survive reuse
+   without re-allocation. Mutex/condvar (not spinning) — a sharded run
+   on an oversubscribed machine must degrade, not livelock. *)
+module Barrier = struct
+  type t = {
+    m : Mutex.t;
+    c : Condition.t;
+    parties : int;
+    mutable arrived : int;
+    mutable epoch : int;
+  }
+
+  let make parties =
+    {
+      m = Mutex.create ();
+      c = Condition.create ();
+      parties;
+      arrived = 0;
+      epoch = 0;
+    }
+
+  let wait b =
+    Mutex.lock b.m;
+    let e = b.epoch in
+    b.arrived <- b.arrived + 1;
+    if b.arrived = b.parties then begin
+      b.arrived <- 0;
+      b.epoch <- e + 1;
+      Condition.broadcast b.c
+    end
+    else
+      while b.epoch = e do
+        Condition.wait b.c b.m
+      done;
+    Mutex.unlock b.m
+end
+
+(* Growable int buffer, reused across rounds: per-domain stagings and
+   event logs have no static bound, so they amortize to their peak and
+   stay there. *)
+module Ibuf = struct
+  type t = { mutable a : int array; mutable len : int }
+
+  let make cap = { a = Array.make (max 16 cap) 0; len = 0 }
+  let clear t = t.len <- 0
+
+  let push t x =
+    let cap = Array.length t.a in
+    if t.len = cap then begin
+      let a' = Array.make (2 * cap) 0 in
+      Array.blit t.a 0 a' 0 cap;
+      t.a <- a'
+    end;
+    t.a.(t.len) <- x;
+    t.len <- t.len + 1
+end
+
+(* A shard aborts at its first error so its event buffer is exactly the
+   prefix the sequential engine would have recorded before raising:
+   [pos] is the buffered event count at the instant the error struck. *)
+exception Stop_shard
+
+type shard_error = { pos : int; err : exn }
+
+(* The sharded BSP loop. The CSR node range is split into [k] contiguous
+   shards, one domain each (the calling domain doubles as shard 0). Per
+   round:
+
+     setup (serial)    sort the staged recipients, publish the active
+                       slice, reset round counters;
+     deliver (parallel) each domain drains its own shard's recipients —
+                       the in-darts of a node form one contiguous CSR
+                       range, so all writes are shard-local;
+     compute (parallel) each domain steps its shard's active nodes in
+                       ascending id order. A message lands on the dart
+                       [src -> dst], and every dart has exactly one
+                       source, owned by exactly one shard — so mailbox
+                       and load writes are race-free {e by construction},
+                       with no cross-shard locks;
+     merge (serial)    per-domain counters fold into the round totals,
+                       buffered (dart, bits) events replay into the
+                       metrics/trace sinks in shard order — which equals
+                       the sequential engine's ascending-node send order,
+                       because shards are contiguous ascending ranges —
+                       and newly staged recipients dedupe into the global
+                       worklist in first-stage order.
+
+   The result — states, rounds, report, metrics, trace — is therefore
+   bit-identical to [exec_clean] for every shard count; the differential
+   suite (test_engine_diff.ml) holds it to that, shard counts 1/2/3/7.
+   Error behavior is faithful too: each shard stops at its first error,
+   the merge replays exactly the event prefix the sequential engine
+   would have recorded (shards below the failing one in full, the
+   failing shard up to the error), and re-raises the lowest shard's
+   error — the one sequential execution would have hit first.
+
+   Protocols must be pure (no shared mutable state in their closures):
+   [init]/[round] of different nodes run concurrently, and [init] of
+   node 0 is invoked one extra time to seed the states array. *)
+let exec_sharded ~domains ?bandwidth ?max_rounds ?(observe = Observe.none) g
+    proto =
+  let n = Gr.n g in
+  let k = domains in
+  let bandwidth =
+    match bandwidth with Some b -> b | None -> default_bandwidth g
+  in
+  let max_rounds = match max_rounds with Some r -> r | None -> (16 * n) + 64 in
+  let trace = Observe.trace observe in
+  let metrics =
+    match (Observe.metrics observe, Observe.bounds observe) with
+    | None, Some _ -> Some (Metrics.create g)
+    | m, _ -> m
+  in
+  let base = match metrics with Some m -> Metrics.rounds m | None -> 0 in
+  let xadj = Gr.dart_offsets g in
+  let srcs = Gr.dart_sources g in
+  let dedge = Gr.dart_edges g in
+  let rev = Gr.dart_reversals g in
+  let nd = Array.length srcs in
+  (* Events are buffered as (dart, bits) pairs; the head table turns a
+     dart back into its recipient at replay time. *)
+  let head = Array.make (max 1 nd) 0 in
+  for v = 0 to n - 1 do
+    for d = xadj.(v) to xadj.(v + 1) - 1 do
+      head.(d) <- v
+    done
+  done;
+  (* Replay is only needed when a sink actually consumes per-message
+     events; a trace that drops messages costs nothing in the shards. *)
+  let observing =
+    Option.is_some metrics
+    || (match trace with Some tr -> Trace.keep_messages tr | None -> false)
+  in
+  let shard_lo = Array.init (k + 1) (fun i -> i * n / k) in
+  let box : 'm list array = Array.make (max 1 nd) [] in
+  let load = Array.make (max 1 nd) 0 in
+  let has_mail = Array.make (max 1 n) false in
+  let staged = Array.make (max 1 n) 0 in
+  let n_staged = ref 0 in
+  let active_buf = Array.make (max 1 n) 0 in
+  let n_active = ref 0 in
+  let inbox : (int * 'm) list array = Array.make (max 1 n) [] in
+  (* One extra (discarded) init of node 0 seeds the array; protocols are
+     pure, so the real pass below overwrites it with the same value. *)
+  let states = Array.make n (fst (proto.init g 0)) in
+  let round = ref 0 in
+  let msgs_round = ref 0 in
+  let bits_round = ref 0 in
+  let total_msgs = ref 0 in
+  let total_bits = ref 0 in
+  let max_msg_bits = ref 0 in
+  let max_burst = ref 0 in
+  let active_peak = ref 0 in
+  (* Per-domain accumulators: counters fold at the barrier, stagings
+     dedupe there, events replay there. Allocated per domain (not one
+     shared matrix) so the hot counters of different domains do not share
+     cache lines. *)
+  let d_msgs = Array.make k 0 in
+  let d_bits = Array.make k 0 in
+  let d_maxmsg = Array.make k 0 in
+  let d_maxburst = Array.make k 0 in
+  let d_staged = Array.init k (fun _ -> Ibuf.make 64) in
+  let d_events = Array.init k (fun _ -> Ibuf.make (if observing then 256 else 16)) in
+  let d_err : shard_error option array = Array.make k None in
+  let send i u (v, msg) =
+    let d =
+      let s = rank srcs xadj.(u) (xadj.(u + 1) - 1) v in
+      if s < 0 then begin
+        d_err.(i) <-
+          Some
+            {
+              pos = d_events.(i).Ibuf.len;
+              err =
+                Invalid_argument
+                  (Printf.sprintf "Network.run: node %d sent to non-neighbor %d"
+                     u v);
+            };
+        raise_notrace Stop_shard
+      end;
+      rev.(s)
+    in
+    let bits = proto.msg_bits msg in
+    if observing then begin
+      Ibuf.push d_events.(i) d;
+      Ibuf.push d_events.(i) bits
+    end;
+    d_msgs.(i) <- d_msgs.(i) + 1;
+    d_bits.(i) <- d_bits.(i) + bits;
+    if bits > d_maxmsg.(i) then d_maxmsg.(i) <- bits;
+    (match box.(d) with
+    | [] -> Ibuf.push d_staged.(i) v
+    | _ :: _ -> ());
+    box.(d) <- msg :: box.(d);
+    let now = load.(d) + bits in
+    load.(d) <- now;
+    if now > d_maxburst.(i) then d_maxburst.(i) <- now;
+    if now > bandwidth then begin
+      (* The sequential engine records the violating message in its
+         sinks before raising; [pos] already includes it. *)
+      d_err.(i) <-
+        Some
+          {
+            pos = d_events.(i).Ibuf.len;
+            err = Bandwidth_exceeded { round = !round; u; v; bits = now };
+          };
+      raise_notrace Stop_shard
+    end
+  in
+  let shard_init i =
+    try
+      for v = shard_lo.(i) to shard_lo.(i + 1) - 1 do
+        let (s, out) = proto.init g v in
+        states.(v) <- s;
+        List.iter (send i v) out
+      done
+    with
+    | Stop_shard -> ()
+    | e -> d_err.(i) <- Some { pos = d_events.(i).Ibuf.len; err = e }
+  in
+  (* First index in the sorted active prefix holding a node >= x. *)
+  let lower_bound x =
+    let rec go a b =
+      if a >= b then a
+      else begin
+        let mid = (a + b) / 2 in
+        if active_buf.(mid) < x then go (mid + 1) b else go a mid
+      end
+    in
+    go 0 !n_active
+  in
+  let shard_deliver i =
+    try
+      let a = lower_bound shard_lo.(i) and b = lower_bound shard_lo.(i + 1) in
+      for idx = a to b - 1 do
+        let v = active_buf.(idx) in
+        has_mail.(v) <- false;
+        let acc = ref [] in
+        for d = xadj.(v + 1) - 1 downto xadj.(v) do
+          (match box.(d) with
+          | [] -> ()
+          | msgs ->
+              let u = srcs.(d) in
+              List.iter (fun m -> acc := (u, m) :: !acc) msgs;
+              box.(d) <- []);
+          load.(d) <- 0
+        done;
+        inbox.(v) <- !acc
+      done
+    with e -> d_err.(i) <- Some { pos = d_events.(i).Ibuf.len; err = e }
+  in
+  let shard_compute i =
+    try
+      let a = lower_bound shard_lo.(i) and b = lower_bound shard_lo.(i + 1) in
+      for idx = a to b - 1 do
+        let v = active_buf.(idx) in
+        let (s, out) = proto.round g v states.(v) inbox.(v) in
+        inbox.(v) <- [];
+        states.(v) <- s;
+        List.iter (send i v) out
+      done
+    with
+    | Stop_shard -> ()
+    | e -> d_err.(i) <- Some { pos = d_events.(i).Ibuf.len; err = e }
+  in
+  let phase = ref `Init in
+  let bar = Barrier.make k in
+  let worker i () =
+    let running = ref true in
+    while !running do
+      Barrier.wait bar;
+      match !phase with
+      | `Init ->
+          shard_init i;
+          Barrier.wait bar
+      | `Step ->
+          shard_deliver i;
+          Barrier.wait bar;
+          shard_compute i;
+          Barrier.wait bar
+      | `Quit -> running := false
+    done
+  in
+  let workers =
+    Array.init (k - 1) (fun j -> Domain.spawn (fun () -> worker (j + 1) ()))
+  in
+  (* Serial sections run while the workers are parked at the loop-top
+     barrier, so shutting down — on completion or on any raise — is one
+     phase flip, one barrier, k-1 joins. *)
+  let shutdown () =
+    phase := `Quit;
+    Barrier.wait bar;
+    Array.iter Domain.join workers
+  in
+  let fail_with e =
+    shutdown ();
+    raise e
+  in
+  let replay i pairs =
+    let ev = d_events.(i).Ibuf.a in
+    for j = 0 to pairs - 1 do
+      let d = ev.(2 * j) and bits = ev.((2 * j) + 1) in
+      let u = srcs.(d) and v = head.(d) in
+      (match metrics with
+      | Some m ->
+          Metrics.add_message_at m
+            ~dir:((2 * dedge.(d)) + if u < v then 0 else 1)
+            ~bits
+      | None -> ());
+      match trace with
+      | Some tr -> Trace.on_message tr ~round:(base + !round) ~src:u ~dst:v ~bits
+      | None -> ()
+    done
+  in
+  (* Fold the parallel phase back into the global round state; on error,
+     replay only the sequential prefix and re-raise. *)
+  let merge_sends () =
+    let erri = ref (-1) in
+    for i = k - 1 downto 0 do
+      if d_err.(i) <> None then erri := i
+    done;
+    if !erri >= 0 then begin
+      let { pos; err } =
+        match d_err.(!erri) with Some e -> e | None -> assert false
+      in
+      if observing then begin
+        for i = 0 to !erri - 1 do
+          replay i (d_events.(i).Ibuf.len / 2)
+        done;
+        replay !erri (pos / 2)
+      end;
+      fail_with err
+    end;
+    for i = 0 to k - 1 do
+      msgs_round := !msgs_round + d_msgs.(i);
+      bits_round := !bits_round + d_bits.(i);
+      if d_maxmsg.(i) > !max_msg_bits then max_msg_bits := d_maxmsg.(i);
+      if d_maxburst.(i) > !max_burst then max_burst := d_maxburst.(i);
+      if observing then replay i (d_events.(i).Ibuf.len / 2);
+      let st = d_staged.(i) in
+      for j = 0 to st.Ibuf.len - 1 do
+        let w = st.Ibuf.a.(j) in
+        if not has_mail.(w) then begin
+          has_mail.(w) <- true;
+          staged.(!n_staged) <- w;
+          incr n_staged
+        end
+      done;
+      d_msgs.(i) <- 0;
+      d_bits.(i) <- 0;
+      Ibuf.clear d_staged.(i);
+      Ibuf.clear d_events.(i)
+    done
+  in
+  let commit_round ~active =
+    (match metrics with
+    | Some m ->
+        for i = 0 to !n_staged - 1 do
+          let v = staged.(i) in
+          for d = xadj.(v) to xadj.(v + 1) - 1 do
+            if load.(d) > 0 then
+              Metrics.note_round_edge_at m
+                ~dir:((2 * dedge.(d)) + if srcs.(d) < v then 0 else 1)
+                ~bits:load.(d)
+          done
+        done;
+        Metrics.record_round m ~round:(base + !round) ~active
+          ~messages:!msgs_round ~bits:!bits_round
+    | None -> ());
+    (match trace with
+    | Some tr ->
+        Trace.on_round tr ~round:(base + !round) ~active ~messages:!msgs_round
+          ~bits:!bits_round
+    | None -> ());
+    if active > !active_peak then active_peak := active;
+    total_msgs := !total_msgs + !msgs_round;
+    total_bits := !total_bits + !bits_round
+  in
+  phase := `Init;
+  Barrier.wait bar;
+  shard_init 0;
+  Barrier.wait bar;
+  merge_sends ();
+  if !msgs_round > 0 then commit_round ~active:n;
+  while !n_staged > 0 do
+    if !round >= max_rounds then
+      fail_with
+        (No_quiescence
+           { round = !round; active = !n_staged; messages = !msgs_round });
+    incr round;
+    let kact = !n_staged in
+    Array.blit staged 0 active_buf 0 kact;
+    sort_prefix active_buf kact;
+    n_active := kact;
+    n_staged := 0;
+    msgs_round := 0;
+    bits_round := 0;
+    phase := `Step;
+    Barrier.wait bar;
+    shard_deliver 0;
+    Barrier.wait bar;
+    shard_compute 0;
+    Barrier.wait bar;
+    merge_sends ();
+    commit_round ~active:kact
+  done;
+  shutdown ();
+  (match metrics with Some m -> Metrics.add_rounds m !round | None -> ());
+  let verdict =
+    match (Observe.bounds observe, metrics) with
+    | Some b, Some m ->
+        Some
+          (Bounds.check ?c_rounds:b.Observe.c_rounds ?c_bits:b.Observe.c_bits
+             ~bandwidth ~n ~d:b.Observe.d m)
+    | _ -> None
+  in
+  {
+    states;
+    rounds = !round;
+    report =
+      {
+        messages = !total_msgs;
+        bits = !total_bits;
+        max_message_bits = !max_msg_bits;
+        max_round_edge_bits = !max_burst;
+        active_peak = !active_peak;
+        verdict;
+      };
+  }
+
+(* One entry point, three engines: the clean flat-array loop whenever no
+   fault plan is installed and one domain suffices — kept bit-identical
+   to the pre-fault engine and allocation-free per round — the sharded
+   BSP loop when [domains > 1] (bit-identical to the clean loop by
+   construction), and the clocked fault-aware loop when a plan is. A
+   fault plan and [domains > 1] are mutually exclusive: the clocked
+   engine draws every fault decision from one seeded stream in
+   engine-visit order, which a sharded visit order would scramble. *)
+let exec ?(domains = 1) ?bandwidth ?max_rounds ?observe ?faults g proto =
+  if domains < 1 then
+    invalid_arg "Network.exec: domains must be at least 1";
   match faults with
-  | None -> exec_clean ?bandwidth ?max_rounds ?observe g proto
-  | Some plan -> exec_faulty ~plan ?bandwidth ?max_rounds ?observe g proto
+  | Some plan ->
+      if domains > 1 then
+        invalid_arg
+          "Network.exec: a fault plan requires domains = 1 — the clocked \
+           fault-aware engine is sequential (its seeded fault stream is \
+           consumed in engine-visit order)";
+      exec_faulty ~plan ?bandwidth ?max_rounds ?observe g proto
+  | None ->
+      let k = min domains (Gr.n g) in
+      if k <= 1 then exec_clean ?bandwidth ?max_rounds ?observe g proto
+      else exec_sharded ~domains:k ?bandwidth ?max_rounds ?observe g proto
 
 
 (* The pre-redesign engine, kept verbatim as the deprecated shim: the

@@ -77,6 +77,7 @@ type 's run_result = { states : 's array; rounds : int; report : report }
     executed, and the engine's {!report}. *)
 
 val exec :
+  ?domains:int ->
   ?bandwidth:int ->
   ?max_rounds:int ->
   ?observe:Observe.t ->
@@ -105,10 +106,27 @@ val exec :
     ({!Metrics.faults}) and recorded on the trace timeline
     ({!Trace.on_fault}). Same plan spec + same seed ⇒ identical run.
     DESIGN.md §9 specifies the fault model precisely.
+
+    [domains] (default [1]) shards the round loop across that many OCaml
+    domains: the node range splits into contiguous shards, one domain
+    each, with a deterministic exchange at the round barrier. The result
+    — states, rounds, report, and the full metrics/trace timelines — is
+    {b bit-identical} to the sequential engine for every shard count
+    (the differential suite pins this for shard counts 1, 2, 3 and 7),
+    including which error is raised and what the sinks saw before it.
+    Two restrictions come with [domains > 1]: the protocol's [init] and
+    [round] closures must be pure up to their returned values (they run
+    concurrently for different nodes, and [init g 0] is called one extra
+    time to seed internal storage), and a {!Fault.plan} may not be
+    combined with it — the clocked fault engine draws its seeded fault
+    stream in engine-visit order, which sharding would scramble, so
+    [exec] raises [Invalid_argument] rather than silently degrading.
+    DESIGN.md §10 specifies the sharded engine.
     @raise Bandwidth_exceeded when a node over-sends on an edge.
     @raise No_quiescence if [max_rounds] (default [16 * n + 64]) elapse
     without quiescence — a livelock guard for buggy protocols.
-    @raise Invalid_argument if a node addresses a non-neighbor. *)
+    @raise Invalid_argument if a node addresses a non-neighbor, if
+    [domains < 1], or if [faults] is combined with [domains > 1]. *)
 
 val run :
   ?bandwidth:int ->

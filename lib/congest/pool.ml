@@ -1,0 +1,70 @@
+exception Task_failed of { index : int; exn : exn }
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* One flag per process: a pool task that opened its own parallel pool
+   would multiply domains quadratically, so the second parallel map is
+   rejected. Sequential maps (jobs <= 1 or n <= 1) never touch the flag —
+   nesting those is harmless. *)
+let busy = Atomic.make false
+
+let run_seq n f =
+  (* The sequential path keeps the parallel path's error envelope: stop
+     at the first failure, report its index. *)
+  Array.init n (fun i ->
+      try f i with e -> raise (Task_failed { index = i; exn = e }))
+
+let map ?jobs n f =
+  if n < 0 then invalid_arg "Pool.map: negative task count";
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let jobs = min jobs n in
+  if jobs <= 1 then run_seq n f
+  else if not (Atomic.compare_and_set busy false true) then
+    raise
+      (Task_failed
+         {
+           index = 0;
+           exn =
+             Invalid_argument
+               "Pool.map: nested parallel map — pool tasks must not open \
+                their own pool";
+         })
+  else begin
+    let chunk = (n + jobs - 1) / jobs in
+    let results = Array.make n None in
+    let filled = Array.make n false in
+    let errors : (int * exn) option array = Array.make jobs None in
+    let chunk_of j =
+      let lo = j * chunk in
+      let hi = min n (lo + chunk) in
+      try
+        for i = lo to hi - 1 do
+          results.(i) <- Some (f i);
+          filled.(i) <- true
+        done
+      with e ->
+        (* The raise struck at the first unfilled slot of this chunk. *)
+        let i = ref lo in
+        while !i < hi && filled.(!i) do
+          incr i
+        done;
+        errors.(j) <- Some (!i, e)
+    in
+    let workers =
+      Array.init (jobs - 1) (fun j -> Domain.spawn (fun () -> chunk_of (j + 1)))
+    in
+    chunk_of 0;
+    Array.iter Domain.join workers;
+    Atomic.set busy false;
+    (* Chunks are contiguous ascending, so the lowest erring chunk holds
+       the lowest failing task index — the failure a sequential sweep
+       would have reported. *)
+    let first_err = ref None in
+    for j = jobs - 1 downto 0 do
+      match errors.(j) with Some _ as e -> first_err := e | None -> ()
+    done;
+    (match !first_err with
+    | Some (index, exn) -> raise (Task_failed { index; exn })
+    | None -> ());
+    Array.map (function Some x -> x | None -> assert false) results
+  end

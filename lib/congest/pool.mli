@@ -1,0 +1,39 @@
+(** A fixed pool of domains for embarrassingly parallel run sweeps.
+
+    This is Tier B of the multicore layer: where {!Network.exec}'s
+    [?domains] parallelizes {e inside} one simulation, [Pool.map]
+    parallelizes {e across} independent simulations — bench matrices,
+    chaos seed sweeps, property-test family sweeps. Scheduling is
+    chunked and static, so the assignment of tasks to domains depends
+    only on [(jobs, n)] — never on timing — and results always come
+    back in task order. Parallelism changes wall-clock time and nothing
+    else.
+
+    Tasks must be independent: they run concurrently on separate
+    domains, so any shared mutable state (a common [Metrics.t] sink, a
+    global [Random] state) is a race. Everything in this library is safe
+    to use from pool tasks as long as each task builds its own sinks,
+    graphs and fault plans. *)
+
+exception Task_failed of { index : int; exn : exn }
+(** A task raised: [index] is the task's position in [0 .. n-1] and
+    [exn] the exception it raised. When several tasks fail in one sweep,
+    the {e lowest} index is reported — the failure a sequential
+    left-to-right sweep would have hit first, independent of timing. *)
+
+val default_jobs : unit -> int
+(** What the hardware offers: [Domain.recommended_domain_count ()]. *)
+
+val map : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [map ~jobs n f] computes [[| f 0; ...; f (n-1) |]], running tasks on
+    up to [jobs] domains (default {!default_jobs}; values [<= 1] run
+    sequentially in the calling domain, as do sweeps with [n <= 1]).
+    Tasks are dealt to domains in contiguous chunks of [ceil(n / jobs)].
+
+    Nested use is rejected: a task that itself calls [map] gets
+    [Invalid_argument] (wrapped in {!Task_failed} like any other task
+    error) — domains would multiply quadratically otherwise. Combining
+    pool tasks with [Network.exec ?domains:k] for [k > 1] is the same
+    mistake one level down and is also on the caller to avoid.
+    @raise Task_failed re-raising the lowest-index task failure.
+    @raise Invalid_argument if [n < 0]. *)

@@ -17,7 +17,13 @@
     reordering, crash-restarting links — at the price of acknowledgement
     traffic, retransmission rounds and the plan's quiescence grace
     period. Without a plan, execution is the clean engine, bit-identical
-    to the pre-fault behavior. *)
+    to the pre-fault behavior.
+
+    Each also accepts [?domains] (default [1]), forwarded to
+    {!Network.exec}: the round loop shards across that many OCaml
+    domains with bit-identical results. As at the engine level,
+    [domains > 1] cannot be combined with a fault plan —
+    [Invalid_argument] is raised rather than silently degrading. *)
 
 type bfs_state = {
   leader : int;  (** maximum id in the network. *)
@@ -27,6 +33,7 @@ type bfs_state = {
 (** What every node knows when {!leader_bfs} quiesces. *)
 
 val leader_bfs :
+  ?domains:int ->
   ?observe:Observe.t ->
   ?bandwidth:int ->
   ?faults:Fault.plan ->
@@ -37,6 +44,7 @@ val leader_bfs :
     parent. The network must be connected and non-empty. *)
 
 val convergecast :
+  ?domains:int ->
   ?observe:Observe.t ->
   ?bandwidth:int ->
   ?faults:Fault.plan ->
@@ -52,6 +60,7 @@ val convergecast :
     returns the root's total after [depth] rounds. *)
 
 val subtree_sizes :
+  ?domains:int ->
   ?observe:Observe.t ->
   ?bandwidth:int ->
   ?faults:Fault.plan ->
@@ -64,6 +73,7 @@ val subtree_sizes :
     which each node retains its accumulated count. Takes [depth] rounds. *)
 
 val broadcast :
+  ?domains:int ->
   ?observe:Observe.t ->
   ?bandwidth:int ->
   ?faults:Fault.plan ->

@@ -45,8 +45,8 @@ let branch_max_map cost f xs =
     (List.map (fun x () -> out := (x, f x) :: !out) xs);
   List.map (fun x -> List.assq x !out) xs
 
-let run ?bandwidth ?(mode = Part.Faithful) ?(checks = false) ?base_size
-    ?(observe = Observe.none) ?faults g =
+let run ?domains ?bandwidth ?(mode = Part.Faithful) ?(checks = false)
+    ?base_size ?(observe = Observe.none) ?faults g =
   if Gr.n g = 0 then invalid_arg "Embedder.run: empty network";
   if not (Traverse.is_connected g) then
     invalid_arg "Embedder.run: the network must be connected";
@@ -68,7 +68,7 @@ let run ?bandwidth ?(mode = Part.Faithful) ?(checks = false) ?base_size
   let r0 = Metrics.rounds metrics in
   let states =
     Trace.with_span trace "leader-election+bfs" ~clock:round_clock (fun () ->
-        Proto.leader_bfs ~observe:sinks ?faults g ~bandwidth)
+        Proto.leader_bfs ?domains ~observe:sinks ?faults g ~bandwidth)
   in
   Metrics.phase metrics "leader-election+bfs" (Metrics.rounds metrics - r0);
   let bt = tree_of_states g states in
@@ -79,7 +79,7 @@ let run ?bandwidth ?(mode = Part.Faithful) ?(checks = false) ?base_size
     Trace.with_span trace "count-n" ~clock:round_clock (fun () ->
         if Gr.n g = 1 then 1
         else
-          Proto.convergecast ~observe:sinks ?faults g ~bandwidth
+          Proto.convergecast ?domains ~observe:sinks ?faults g ~bandwidth
             ~parent:bt.Traverse.parent ~root:leader
             ~values:(Array.make (Gr.n g) 1)
             ~op:( + ) ~value_bits:word)

@@ -48,6 +48,7 @@ type outcome = {
 }
 
 val run :
+  ?domains:int ->
   ?bandwidth:int ->
   ?mode:Part.mode ->
   ?checks:bool ->
@@ -59,6 +60,11 @@ val run :
 (** @raise Invalid_argument on an empty or disconnected network.
     [mode] defaults to [Faithful]; [checks] (default off) validates every
     merge against the safety invariants.
+
+    [domains] (default [1]) is forwarded to the phase-1 protocol runs
+    ({!Network.exec}'s sharded round loop): results and the whole
+    observation timeline are bit-identical for any value. Incompatible
+    with a [faults] plan, as at the engine level.
 
     Installing a [faults] plan ({!Fault.plan}) subjects the run's real
     message-passing — the phase-1 leader election, BFS construction and

@@ -15,6 +15,7 @@ type t = {
   xadj : int array;
   adjncy : int array;
   dart_uedge : int array;
+  dart_rev : int array;  (* the opposite dart: rev of u -> v is v -> u *)
   edge_list : edge array;
   adj : int array array;
 }
@@ -66,23 +67,30 @@ let of_edges ~n edges =
   let nd = xadj.(n) in
   let adjncy = Array.make nd 0 in
   let dart_uedge = Array.make nd 0 in
+  let dart_rev = Array.make nd 0 in
   let fill = Array.sub xadj 0 n in
   (* [edge_list] is lex-sorted, so each slice comes out sorted: vertex
      [v] first receives its lower neighbors (edges [(u, v)], increasing
-     [u]), then its higher neighbors (edges [(v, w)], increasing [w]). *)
+     [u]), then its higher neighbors (edges [(v, w)], increasing [w]).
+     Slot [su] in [u]'s slice holds neighbor [v], i.e. the dart [v -> u];
+     its reversal [u -> v] is the matching slot in [v]'s slice — both are
+     known here, so the involution costs nothing extra to record. *)
   Array.iteri
     (fun e (u, v) ->
-      adjncy.(fill.(u)) <- v;
-      dart_uedge.(fill.(u)) <- e;
-      fill.(u) <- fill.(u) + 1;
-      adjncy.(fill.(v)) <- u;
-      dart_uedge.(fill.(v)) <- e;
-      fill.(v) <- fill.(v) + 1)
+      let su = fill.(u) and sv = fill.(v) in
+      adjncy.(su) <- v;
+      dart_uedge.(su) <- e;
+      adjncy.(sv) <- u;
+      dart_uedge.(sv) <- e;
+      dart_rev.(su) <- sv;
+      dart_rev.(sv) <- su;
+      fill.(u) <- su + 1;
+      fill.(v) <- sv + 1)
     edge_list;
   let adj =
     Array.init n (fun v -> Array.sub adjncy xadj.(v) (xadj.(v + 1) - xadj.(v)))
   in
-  { n; xadj; adjncy; dart_uedge; edge_list; adj }
+  { n; xadj; adjncy; dart_uedge; dart_rev; edge_list; adj }
 
 let empty n = of_edges ~n []
 let n t = t.n
@@ -139,9 +147,11 @@ let dart t ~src ~dst =
 
 let dart_src t d = t.adjncy.(d)
 let dart_edge t d = t.dart_uedge.(d)
+let dart_rev t d = t.dart_rev.(d)
 let dart_offsets t = t.xadj
 let dart_sources t = t.adjncy
 let dart_edges t = t.dart_uedge
+let dart_reversals t = t.dart_rev
 
 let edge_index t u v =
   (* Self-loops are an [Invalid_argument], as they always were. *)

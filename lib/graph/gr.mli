@@ -91,6 +91,14 @@ val dart_src : t -> int -> int
 val dart_edge : t -> int -> int
 (** The dense {e undirected} edge index ({!edge_index}) under a dart. *)
 
+val dart_rev : t -> int -> int
+(** The opposite dart: the reversal of [src -> dst] is [dst -> src]. An
+    involution, precomputed at construction. Combined with the sorted CSR
+    slices this gives a per-node neighbor→dart index: the dart [u -> v] is
+    [dart_rev] of the slot of [v] in [u]'s own adjacency slice — one rank
+    search in the {e sender}'s slice (cache-hot across a whole outbox)
+    instead of a binary search in each recipient's slice. *)
+
 val dart_offsets : t -> int array
 (** The CSR offsets ([n + 1] entries): the in-darts of [v] are the slots
     [dart_offsets.(v) .. dart_offsets.(v+1) - 1]. Owned by the graph;
@@ -102,6 +110,10 @@ val dart_sources : t -> int array
 
 val dart_edges : t -> int array
 (** [dart_edges.(d)] is {!dart_edge}[ g d], as a flat array for hot
+    loops. Owned by the graph; callers must not mutate. *)
+
+val dart_reversals : t -> int array
+(** [dart_reversals.(d)] is {!dart_rev}[ g d], as a flat array for hot
     loops. Owned by the graph; callers must not mutate. *)
 
 (** {1 Derived graphs} *)

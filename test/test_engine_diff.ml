@@ -99,6 +99,29 @@ let run_exec proto g =
   in
   (r, m, tr)
 
+let run_exec_sharded ~domains proto g =
+  let m = Metrics.create g in
+  let tr = Trace.create ~keep_messages:true () in
+  let r =
+    Network.exec ~domains ~bandwidth:4096
+      ~observe:(Observe.make ~metrics:m ~trace:tr ())
+      g proto
+  in
+  (r, m, tr)
+
+(* Shard counts for the sequential-vs-sharded sweep: 1 must hit the
+   sequential engine (the dispatcher's k <= 1 path), 2/3/7 exercise even,
+   odd and more-shards-than-balance splits. CI's multicore job adds its
+   own count via DOMAINS. *)
+let shard_counts =
+  let base = [ 1; 2; 3; 7 ] in
+  match Sys.getenv_opt "DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some k when k > 1 && not (List.mem k base) -> base @ [ k ]
+      | _ -> base)
+  | None -> base
+
 let dir_table m =
   let rows = ref [] in
   Metrics.iter_dir m (fun ~src ~dst ~bits ~messages ~burst ->
@@ -141,11 +164,34 @@ let diff_one name proto g =
   check (name ^ ": report active peak") (Metrics.active_peak m_new)
     r_new.Network.report.Network.active_peak
 
+(* The sharded engine against the sequential one: same exec entry point,
+   [?domains:k] versus the default — states, rounds, report, the full
+   metrics sink and the message-level trace journal must all be
+   bit-identical for every shard count. *)
+let diff_sharded name proto g =
+  let (r_seq, m_seq, t_seq) = run_exec proto g in
+  List.iter
+    (fun k ->
+      let name = Printf.sprintf "%s[domains=%d]" name k in
+      let (r_k, m_k, t_k) = run_exec_sharded ~domains:k proto g in
+      check_bool (name ^ ": states") true (r_seq.Network.states = r_k.Network.states);
+      check (name ^ ": rounds") r_seq.Network.rounds r_k.Network.rounds;
+      check_bool (name ^ ": report") true
+        (r_seq.Network.report = r_k.Network.report);
+      metrics_equal name m_seq m_k;
+      check_bool (name ^ ": trace events") true
+        (Trace.events t_seq = Trace.events t_k))
+    shard_counts
+
 let diff_all_protocols name g =
   diff_one (name ^ "/hello") hello g;
   diff_one (name ^ "/flood") flood g;
   diff_one (name ^ "/order-hash") (order_hash 5) g;
-  diff_one (name ^ "/double-talk") (double_talk 4) g
+  diff_one (name ^ "/double-talk") (double_talk 4) g;
+  diff_sharded (name ^ "/hello") hello g;
+  diff_sharded (name ^ "/flood") flood g;
+  diff_sharded (name ^ "/order-hash") (order_hash 5) g;
+  diff_sharded (name ^ "/double-talk") (double_talk 4) g
 
 let fixed_families =
   [
@@ -211,7 +257,12 @@ let test_bandwidth_parity () =
   in
   let p_old = payload (fun () -> ignore (Network.run ~bandwidth:16 g proto)) in
   let p_new = payload (fun () -> ignore (Network.exec ~bandwidth:16 g proto)) in
-  check_bool "identical Bandwidth_exceeded payloads" true (p_old = p_new)
+  check_bool "identical Bandwidth_exceeded payloads" true (p_old = p_new);
+  let p_shard =
+    payload (fun () ->
+        ignore (Network.exec ~domains:2 ~bandwidth:16 g proto))
+  in
+  check_bool "sharded Bandwidth_exceeded payload" true (p_old = p_shard)
 
 let test_non_neighbor_parity () =
   let g = Gr.of_edges ~n:3 [ (0, 1); (1, 2) ] in
@@ -230,7 +281,74 @@ let test_non_neighbor_parity () =
   in
   let m_old = msg (fun () -> ignore (Network.run g proto)) in
   let m_new = msg (fun () -> ignore (Network.exec g proto)) in
-  Alcotest.(check string) "identical Invalid_argument messages" m_old m_new
+  Alcotest.(check string) "identical Invalid_argument messages" m_old m_new;
+  let m_shard = msg (fun () -> ignore (Network.exec ~domains:2 g proto)) in
+  Alcotest.(check string) "sharded Invalid_argument message" m_old m_shard
+
+(* A sharded run that dies must leave the same observation prefix the
+   sequential engine leaves: everything the sinks saw before the raise,
+   nothing more — even when the violation sits in a later shard, whose
+   sibling shards had already buffered their own rounds' events. *)
+let test_sharded_error_observation () =
+  let g = Gen.path 4 in
+  let proto =
+    {
+      (* Node 3 (the last shard under any split) over-sends at init;
+         nodes 0..2 each send one legal message first. *)
+      Network.init =
+        (fun g v ->
+          if v = 3 then ((), [ (2, 0); (2, 1) ])
+          else ((), to_all g v v));
+      round = (fun _g _v st _inbox -> (st, []));
+      msg_bits = (fun _ -> 10);
+    }
+  in
+  let observed domains =
+    let m = Metrics.create g in
+    let tr = Trace.create ~keep_messages:true () in
+    (try
+       ignore
+         (Network.exec ~domains ~bandwidth:16
+            ~observe:(Observe.make ~metrics:m ~trace:tr ())
+            g proto);
+       Alcotest.fail "expected Bandwidth_exceeded"
+     with Network.Bandwidth_exceeded _ -> ());
+    (Metrics.messages m, Metrics.total_bits m, Trace.events tr)
+  in
+  let seq = observed 1 in
+  List.iter
+    (fun k ->
+      check_bool
+        (Printf.sprintf "error-path observation prefix [domains=%d]" k)
+        true
+        (observed k = seq))
+    [ 2; 3 ]
+
+let test_domains_validation () =
+  let g = Gen.path 4 in
+  (try
+     ignore (Network.exec ~domains:0 g hello);
+     Alcotest.fail "expected Invalid_argument for domains=0"
+   with Invalid_argument _ -> ());
+  (* A fault plan and a sharded run are mutually exclusive; the engine
+     must refuse loudly, not silently fall back to one of them. *)
+  let plan = Fault.make ~spec:{ Fault.default with drop = 0.1 } ~seed:7 () in
+  (try
+     ignore (Network.exec ~domains:2 ~faults:plan g hello);
+     Alcotest.fail "expected Invalid_argument for faults + domains>1"
+   with Invalid_argument m ->
+     check_bool "error names the restriction" true
+       (String.length m > 0
+       && String.lowercase_ascii m <> ""
+       &&
+       let has sub =
+         let n = String.length m and k = String.length sub in
+         let rec go i = i + k <= n && (String.sub m i k = sub || go (i + 1)) in
+         go 0
+       in
+       has "fault" && has "domains"));
+  (* domains = 1 with a plan stays legal. *)
+  ignore (Network.exec ~domains:1 ~faults:plan g hello)
 
 let test_livelock_contracts () =
   (* Same livelock, two documented signals: Failure from the shim,
@@ -315,6 +433,9 @@ let () =
           Alcotest.test_case "non-neighbor messages" `Quick
             test_non_neighbor_parity;
           Alcotest.test_case "livelock contracts" `Quick test_livelock_contracts;
+          Alcotest.test_case "sharded error observation" `Quick
+            test_sharded_error_observation;
+          Alcotest.test_case "domains validation" `Quick test_domains_validation;
         ] );
       ( "allocation",
         [

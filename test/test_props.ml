@@ -60,7 +60,23 @@ let fixed_families =
   ]
 
 let test_fixed_families () =
-  List.iter (fun (name, g) -> verify_family name g) fixed_families
+  (* The slowest sweep in the suite: every family runs a full embedder
+     pipeline, and the runs are independent — exactly the shape the
+     inter-run pool exists for. DOMAINS (the CI multicore job sets it)
+     overrides the hardware default; failures unwrap to the underlying
+     Alcotest error so the report reads as if the sweep were serial. *)
+  let fams = Array.of_list fixed_families in
+  let jobs =
+    match Option.bind (Sys.getenv_opt "DOMAINS") int_of_string_opt with
+    | Some k when k > 0 -> k
+    | _ -> Pool.default_jobs ()
+  in
+  try
+    ignore
+      (Pool.map ~jobs (Array.length fams) (fun i ->
+           let (name, g) = fams.(i) in
+           verify_family name g))
+  with Pool.Task_failed { exn; _ } -> raise exn
 
 let seed_prop name build =
   QCheck.Test.make ~count:12 ~name
