@@ -15,6 +15,7 @@
    (footnote 2 of the paper). *)
 
 let quick = ref false
+let huge = ref false
 let trace_file = ref None
 
 let log2_ceil n =
@@ -31,6 +32,11 @@ let maxplanar n = Gen.random_maximal_planar ~seed:(42 + n) n
 
 let sizes_maxplanar () =
   if !quick then [ 250; 500; 1000; 2000 ]
+  else if !huge then
+    (* --huge: the LR kernel keeps the leader's local computation linear,
+       so the E1/E2 sweeps can afford the 32k/64k tier that the DMP-era
+       harness never reached. *)
+    [ 250; 500; 1000; 2000; 4000; 8000; 16000; 32000; 64000 ]
   else [ 250; 500; 1000; 2000; 4000; 8000; 16000 ]
 
 let grids () =
@@ -354,11 +360,13 @@ let micro () =
   let open Bechamel in
   let g500 = maxplanar 500 in
   let grid = Gen.grid 20 20 in
-  let rot = Dmp.embed_exn g500 in
+  let rot = Planarity.embed_exn g500 in
   let outer = Gen.random_outerplanar ~seed:3 ~n:400 ~chord_prob:0.5 in
   let colors = Gen.random_permutation ~seed:4 400 in
   let tests =
     [
+      Test.make ~name:"lr-embed-maxplanar500"
+        (Staged.stage (fun () -> ignore (Lr.embed g500)));
       Test.make ~name:"dmp-embed-maxplanar500"
         (Staged.stage (fun () -> ignore (Dmp.embed g500)));
       Test.make ~name:"bicon-decompose-maxplanar500"
@@ -467,6 +475,9 @@ let () =
     | [] -> List.rev acc
     | "--quick" :: rest ->
         quick := true;
+        parse acc rest
+    | "--huge" :: rest ->
+        huge := true;
         parse acc rest
     | "--trace" :: file :: rest ->
         trace_file := Some file;

@@ -165,11 +165,11 @@ let check_cmd =
   let run family n rows cols seglen seed m chord =
     let g = make_graph family n rows cols seglen seed m chord in
     graph_summary g;
-    match Dmp.embed g with
-    | Dmp.Planar r ->
+    match Planarity.embed g with
+    | Planarity.Planar r ->
         Printf.printf "planar: yes (%d faces, genus %d)\n" (Rotation.face_count r)
           (Rotation.genus r)
-    | Dmp.Nonplanar ->
+    | Planarity.Nonplanar ->
         Printf.printf "planar: no\n";
         exit 1
   in
@@ -178,7 +178,7 @@ let check_cmd =
       const run $ family_t $ n_t $ rows_t $ cols_t $ seglen_t $ seed_t $ m_t
       $ chord_t)
   in
-  Cmd.v (Cmd.info "check" ~doc:"Centralized planarity test (DMP).") term
+  Cmd.v (Cmd.info "check" ~doc:"Centralized planarity test.") term
 
 let witness_cmd =
   let run family n rows cols seglen seed m chord =

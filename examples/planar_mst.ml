@@ -48,11 +48,11 @@ let () =
      planar subgraph whose embedding is induced by restricting each node's
      clockwise order — e.g. for collision-free tree broadcast schedules. *)
   let t = Gr.of_edges ~n mst in
-  (match Dmp.embed t with
-  | Dmp.Planar rt ->
+  (match Planarity.embed t with
+  | Planarity.Planar rt ->
       Printf.printf "the MST itself embeds with %d face(s) (a tree: exactly 1)\n"
         (Rotation.face_count rt)
-  | Dmp.Nonplanar -> assert false);
+  | Planarity.Nonplanar -> assert false);
   Printf.printf
     "\n[GH16] (part II of the program) accelerates exactly this MST to\n\
      O~(D) rounds with low-congestion shortcuts built from the embedding.\n"

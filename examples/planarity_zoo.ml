@@ -37,7 +37,7 @@ let () =
     (fun (name, g) ->
       let o = Embedder.run g in
       let dist_planar = o.Embedder.rotation <> None in
-      let central_planar = Dmp.is_planar g in
+      let central_planar = Planarity.is_planar g in
       (match o.Embedder.rotation with
       | Some r -> assert (Rotation.is_planar_embedding r)
       | None -> ());

@@ -42,9 +42,9 @@ let run ?bandwidth g =
           2 * word * higher));
   (* The leader solves planarity locally (free computation in CONGEST). *)
   let rotation =
-    match Dmp.embed g with
-    | Dmp.Planar r -> Some r
-    | Dmp.Nonplanar -> None
+    match Planarity.embed g with
+    | Planarity.Planar r -> Some r
+    | Planarity.Nonplanar -> None
   in
   (* Downcast: each vertex receives its own rotation (deg(v) ids); on a
      non-planar input the verdict alone is broadcast. *)

@@ -1,98 +1,120 @@
+(* Rotation systems on the graph's dart table.
+
+   The cyclic orders are validated once at construction and compiled to
+   two flat arrays over the graph's dense dart ids: [pos] locates each
+   dart inside its head's rotation, and [face_next] is the face-routing
+   permutation next (u, v) = (v, succ_v u). Face tracing, genus and the
+   Euler check are then orbit walks over an int array — no hashtables,
+   no tuple keys — which matters because every accepted embedding of the
+   LR kernel is re-validated here. *)
+
 type t = {
   g : Gr.t;
   rot : int array array;
-  (* (v, u) -> neighbor following u in the cyclic order at v. *)
-  succ_tbl : (int * int, int) Hashtbl.t;
+  pos : int array;  (* dart u->v to the index of u in rot.(v). *)
+  face_next : int array;  (* dart-to-dart face successor. *)
 }
+
+(* Head (destination) of a dart: the source of its reversal. *)
+let dart_dst g d = Gr.dart_src g (Gr.dart_rev g d)
 
 let make g rot =
   let n = Gr.n g in
   if Array.length rot <> n then invalid_arg "Rotation.make: wrong length";
-  let succ_tbl = Hashtbl.create (2 * Gr.m g) in
+  let darts = Gr.darts g in
+  let pos = Array.make (max 1 darts) (-1) in
+  (* Permutation check with a stamp array: 2v marks "neighbor of v, not
+     yet seen in the rotation", 2v+1 "already seen" (duplicate guard). *)
+  let mark = Array.make (max 1 n) (-1) in
   for v = 0 to n - 1 do
-    let nbrs = Gr.neighbors g v in
     let r = rot.(v) in
-    if Array.length r <> Array.length nbrs then
+    if Array.length r <> Gr.degree g v then
       invalid_arg "Rotation.make: rotation size mismatch";
-    let expected = Hashtbl.create (Array.length nbrs) in
-    Array.iter (fun u -> Hashtbl.replace expected u ()) nbrs;
+    Gr.iter_neighbors g v (fun u -> mark.(u) <- 2 * v);
     Array.iteri
       (fun i u ->
-        if not (Hashtbl.mem expected u) then
+        if u < 0 || u >= n || mark.(u) <> 2 * v then
           invalid_arg "Rotation.make: rotation is not a permutation of neighbors";
-        Hashtbl.remove expected u;
-        let next = r.((i + 1) mod Array.length r) in
-        Hashtbl.replace succ_tbl (v, u) next)
-      r;
-    if Hashtbl.length expected <> 0 then
-      invalid_arg "Rotation.make: rotation is not a permutation of neighbors"
+        mark.(u) <- (2 * v) + 1;
+        pos.(Gr.dart g ~src:u ~dst:v) <- i)
+      r
   done;
-  { g; rot = Array.map Array.copy rot; succ_tbl }
+  let face_next = Array.make (max 1 darts) (-1) in
+  for v = 0 to n - 1 do
+    let r = rot.(v) in
+    let deg = Array.length r in
+    for i = 0 to deg - 1 do
+      let u = r.(i) and w = r.((i + 1) mod deg) in
+      face_next.(Gr.dart g ~src:u ~dst:v) <- Gr.dart g ~src:v ~dst:w
+    done
+  done;
+  { g; rot = Array.map Array.copy rot; pos; face_next }
 
 let rotation t v = t.rot.(v)
 let graph t = t.g
-let succ t v u = Hashtbl.find t.succ_tbl (v, u)
+
+let succ t v u =
+  let d = Gr.dart t.g ~src:u ~dst:v in
+  let r = t.rot.(v) in
+  r.((t.pos.(d) + 1) mod Array.length r)
 
 let mirror t =
   make t.g
-    (Array.map
-       (fun r -> Array.of_list (List.rev (Array.to_list r)))
-       t.rot)
+    (Array.map (fun r -> Array.of_list (List.rev (Array.to_list r))) t.rot)
 
 let of_sorted_adjacency g =
   make g (Array.init (Gr.n g) (fun v -> Array.copy (Gr.neighbors g v)))
 
-(* Darts are numbered 2*e and 2*e+1 for edge index e = (u, v) normalized:
-   2*e is u->v, 2*e+1 is v->u. *)
-let dart_id t (u, v) =
-  let e = Gr.edge_index t.g u v in
-  if u < v then 2 * e else (2 * e) + 1
-
-let dart_of_id t d =
-  let (u, v) = Gr.edge_of_index t.g (d / 2) in
-  if d land 1 = 0 then (u, v) else (v, u)
-
-let next_dart t (u, v) = (v, succ t v u)
-
-let faces t =
-  let m = Gr.m t.g in
-  let seen = Array.make (2 * m) false in
-  let out = ref [] in
-  for d = 0 to (2 * m) - 1 do
-    if not seen.(d) then begin
-      let face = ref [] in
-      let cur = ref d in
+(* Iterate the orbits of [face_next]: calls [start d] at the first dart
+   of each face and [step d] for every dart (in face order). *)
+let iter_faces t ~start ~step =
+  let darts = Gr.darts t.g in
+  let seen = Array.make (max 1 darts) false in
+  for d0 = 0 to darts - 1 do
+    if not seen.(d0) then begin
+      start d0;
+      let d = ref d0 in
       let continue = ref true in
       while !continue do
-        seen.(!cur) <- true;
-        let dart = dart_of_id t !cur in
-        face := dart :: !face;
-        let nxt = dart_id t (next_dart t dart) in
-        if nxt = d then continue := false else cur := nxt
-      done;
-      out := List.rev !face :: !out
+        seen.(!d) <- true;
+        step !d;
+        d := t.face_next.(!d);
+        if !d = d0 then continue := false
+      done
     end
-  done;
+  done
+
+let faces t =
+  let out = ref [] in
+  let cur = ref [] in
+  iter_faces t
+    ~start:(fun _ ->
+      if !cur <> [] then out := List.rev !cur :: !out;
+      cur := [])
+    ~step:(fun d -> cur := (Gr.dart_src t.g d, dart_dst t.g d) :: !cur);
+  if !cur <> [] then out := List.rev !cur :: !out;
   List.rev !out
 
-let face_count t = List.length (faces t)
+let face_count t =
+  let k = ref 0 in
+  iter_faces t ~start:(fun _ -> incr k) ~step:(fun _ -> ());
+  !k
 
 let genus t =
   (* Euler's formula per connected component: n_c - m_c + f_c = 2 - 2 g_c,
      where isolated vertices form components with one face each. *)
   let comps = Traverse.components t.g in
-  let comp_of = Array.make (Gr.n t.g) (-1) in
+  let comp_of = Array.make (max 1 (Gr.n t.g)) (-1) in
   List.iteri (fun i vs -> List.iter (fun v -> comp_of.(v) <- i) vs) comps;
   let k = List.length comps in
-  let nv = Array.make k 0 and ne = Array.make k 0 and nf = Array.make k 0 in
+  let nv = Array.make (max 1 k) 0
+  and ne = Array.make (max 1 k) 0
+  and nf = Array.make (max 1 k) 0 in
   List.iteri (fun i vs -> nv.(i) <- List.length vs) comps;
   Gr.iter_edges t.g (fun u _v -> ne.(comp_of.(u)) <- ne.(comp_of.(u)) + 1);
-  List.iter
-    (fun face ->
-      match face with
-      | (u, _) :: _ -> nf.(comp_of.(u)) <- nf.(comp_of.(u)) + 1
-      | [] -> ())
-    (faces t);
+  iter_faces t
+    ~start:(fun d -> nf.(comp_of.(Gr.dart_src t.g d)) <- nf.(comp_of.(Gr.dart_src t.g d)) + 1)
+    ~step:(fun _ -> ());
   let total = ref 0 in
   for i = 0 to k - 1 do
     let f = if ne.(i) = 0 then 1 else nf.(i) in
@@ -108,12 +130,16 @@ let is_planar_embedding t = genus t = 0
 let face_of_dart t (u, v) =
   if not (Gr.mem_edge t.g u v) then
     invalid_arg "Rotation.face_of_dart: not an edge";
-  let start = (u, v) in
-  let rec go cur acc =
-    let nxt = next_dart t cur in
-    if nxt = start then List.rev (cur :: acc) else go nxt (cur :: acc)
-  in
-  go start []
+  let d0 = Gr.dart t.g ~src:u ~dst:v in
+  let out = ref [] in
+  let d = ref d0 in
+  let continue = ref true in
+  while !continue do
+    out := (Gr.dart_src t.g !d, dart_dst t.g !d) :: !out;
+    d := t.face_next.(!d);
+    if !d = d0 then continue := false
+  done;
+  List.rev !out
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>rotation system (n=%d, m=%d, f=%d, genus=%d)"

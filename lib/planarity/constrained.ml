@@ -33,9 +33,9 @@ let embed g ~part ~half =
               (fun i (u, _v) -> [ (new_of_old u, p + i); (p + i, apex) ])
               half))
   in
-  match Dmp.embed aug with
-  | Dmp.Nonplanar -> None
-  | Dmp.Planar r ->
+  match Planarity.embed aug with
+  | Planarity.Nonplanar -> None
+  | Planarity.Planar r ->
       let rot = Hashtbl.create p in
       List.iter
         (fun v ->

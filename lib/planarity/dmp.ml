@@ -2,6 +2,14 @@ type result = Planar of Rotation.t | Nonplanar
 
 exception Reject
 
+exception
+  No_progress of {
+    fragments : int;
+    faces : int;
+    embedded_edges : int;
+    total_edges : int;
+  }
+
 (* A face of the partial embedding: a directed simple cycle of vertices.
    The embedded subgraph stays biconnected throughout (cycle + successive
    paths between embedded vertices), so boundaries are simple cycles. *)
@@ -392,7 +400,14 @@ let embed_biconnected g =
     while !remaining > 0 do
       incr guard;
       if !guard > (4 * m) + 16 then
-        failwith "Dmp.embed_biconnected: no progress (internal invariant broken)";
+        raise
+          (No_progress
+             {
+               fragments = !n_alive;
+               faces = Hashtbl.length faces_alive;
+               embedded_edges = m - !remaining;
+               total_edges = m;
+             });
       let frag = choose () in
       let face_id =
         match frag.tracked with

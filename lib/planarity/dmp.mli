@@ -17,6 +17,18 @@ type result =
   | Planar of Rotation.t  (** a verified-shape rotation system. *)
   | Nonplanar
 
+exception
+  No_progress of {
+    fragments : int;  (** fragments still alive when the loop stalled. *)
+    faces : int;  (** faces of the partial embedding at that point. *)
+    embedded_edges : int;  (** edges already routed into the embedding. *)
+    total_edges : int;  (** edges of the biconnected component. *)
+  }
+(** Raised if the fragment-embedding loop of a biconnected component stops
+    making progress — an internal invariant violation, never expected on
+    any input. The payload snapshots the loop state for diagnosis instead
+    of a bare [Failure] string. *)
+
 val embed : Gr.t -> result
 (** Planarity test plus embedding. Works on any simple graph, connected or
     not (each component is embedded independently). *)

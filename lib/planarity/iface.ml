@@ -12,9 +12,9 @@ let attachment_order block_graph relevant =
     Gr.union_vertices block_graph ~more:(k + 1)
       (List.concat (List.mapi (fun i v -> [ (v, p + i); (p + i, apex) ]) relevant))
   in
-  match Dmp.embed aug with
-  | Dmp.Nonplanar -> None
-  | Dmp.Planar r ->
+  match Planarity.embed aug with
+  | Planarity.Nonplanar -> None
+  | Planarity.Planar r ->
       Some
         (Array.to_list
            (Array.map (fun s -> relevant_arr.(s - p)) (Rotation.rotation r apex)))

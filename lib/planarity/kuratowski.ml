@@ -5,19 +5,32 @@ let pp_kind ppf = function
   | K33 -> Format.pp_print_string ppf "K3,3"
 
 let witness g =
-  if Dmp.is_planar g then None
+  if Planarity.is_planar g then None
   else begin
     let n = Gr.n g in
     (* One pass: drop every edge whose removal keeps the graph non-planar.
        Each surviving edge was tested against a superset of the final set,
        so its removal from the final set leaves a subgraph of a planar
-       graph — every survivor is critical. *)
-    let kept = ref (Gr.edges g) in
-    List.iter
-      (fun e ->
-        let without = List.filter (fun e' -> e' <> e) !kept in
-        if not (Dmp.is_planar (Gr.of_edges ~n without)) then kept := without)
-      (Gr.edges g);
+       graph — every survivor is critical.
+
+       One shared edge array with an exclusion mask: each probe flips a
+       single mask bit and runs the LR test straight off the masked
+       array ([Lr.is_planar_edges] builds its CSR from it without
+       constructing a [Gr.t]), instead of rebuilding the whole graph
+       per candidate deletion. *)
+    let edges = Array.of_list (Gr.edges g) in
+    let mask = Array.make (Array.length edges) true in
+    Array.iteri
+      (fun i _ ->
+        mask.(i) <- false;
+        (* still non-planar without edge i: drop it for good (leave the
+           bit off); otherwise the edge is critical — restore it. *)
+        if Lr.is_planar_edges ~n edges ~mask then mask.(i) <- true)
+      edges;
+    let kept = ref [] in
+    for i = Array.length edges - 1 downto 0 do
+      if mask.(i) then kept := edges.(i) :: !kept
+    done;
     Some !kept
   end
 

@@ -1,0 +1,44 @@
+(** Linear-time planarity testing and embedding: the left-right
+    (de Fraysseix–Rosenstiehl / Brandes) algorithm.
+
+    This is the production kernel behind {!Planarity.embed}: a DFS
+    orientation with lowpoints and nesting-order sorted adjacency lists,
+    the conflict-pair constraint stack, and rotation-system extraction
+    from the resolved left/right edge sides. It replaces the quadratic
+    {!Dmp} kernel on every hot path; DMP stays as the differential
+    oracle (simple enough to be convincingly correct), and every
+    rotation this module returns has already passed the independent
+    face-tracing Euler check in {!Rotation}. *)
+
+type result =
+  | Planar of Rotation.t  (** a rotation system verified genus 0. *)
+  | Nonplanar
+
+exception Embedding_invalid of string
+(** Internal-inconsistency alarm: the constraint phase accepted the
+    input but the extracted rotation failed validation. Never raised on
+    a correct build; it exists so a kernel bug cannot silently pass an
+    invalid embedding downstream. *)
+
+val embed : Gr.t -> result
+(** Planarity test plus embedding, in [O(n + m)] time. Works on any
+    simple graph, connected or not (each component roots its own DFS).
+    Accepted inputs are re-validated by {!Rotation.is_planar_embedding}
+    before being returned. *)
+
+val is_planar : Gr.t -> bool
+(** The test alone (orientation + constraint phases, no embedding
+    extraction): the cheapest verdict, used by deletion loops such as
+    {!Kuratowski.witness}. *)
+
+val embed_exn : Gr.t -> Rotation.t
+(** @raise Invalid_argument if the graph is not planar. *)
+
+val is_planar_edges : n:int -> Gr.edge array -> mask:bool array -> bool
+(** [is_planar_edges ~n edges ~mask] tests the graph on [n] vertices
+    whose edge set is [edges.(i)] for every [i] with [mask.(i)]. The
+    CSR adjacency is built directly from the masked array — no [Gr.t]
+    construction, no sorting — so a caller probing many single-edge
+    deletions (e.g. Kuratowski witness extraction) can reuse one edge
+    array and flip mask bits in O(1) between probes. Edges must be
+    normalized and duplicate-free among the unmasked entries. *)

@@ -1,0 +1,36 @@
+(** The planarity front: one [embed] entry point for every production
+    caller, dispatching to a kernel.
+
+    The default kernel is the linear-time left-right algorithm ({!Lr});
+    the quadratic {!Dmp} kernel stays available behind the same
+    interface as the differential oracle (the same pattern as the
+    legacy [Network.run] shim kept beside [Network.exec]). Production
+    code — [Baseline], [Separator], [Iface], [Constrained],
+    [Kuratowski], the benches and the CLI — goes through this module;
+    only the test suite and the kernel bench call {!Dmp} directly. *)
+
+type result = Dmp.result = Planar of Rotation.t | Nonplanar
+(** Re-exported from {!Dmp} so existing pattern matches keep working
+    across the kernel swap. *)
+
+type kernel =
+  | LR  (** the linear-time left-right kernel ({!Lr}). *)
+  | DMP  (** the quadratic oracle ({!Dmp}). *)
+
+val default_kernel : kernel
+(** [LR], unless the environment variable [DISTPLANAR_KERNEL] is set to
+    ["dmp"] (read once at startup — an operational escape hatch for
+    differential debugging without a rebuild).
+    @raise Invalid_argument at module init on an unknown value. *)
+
+val kernel_name : kernel -> string
+val kernel_of_string : string -> kernel option
+
+val embed : ?kernel:kernel -> Gr.t -> result
+(** Planarity test plus embedding. Any simple graph, connected or not.
+    Accepted LR rotations have passed the face-tracing Euler check. *)
+
+val is_planar : ?kernel:kernel -> Gr.t -> bool
+
+val embed_exn : ?kernel:kernel -> Gr.t -> Rotation.t
+(** @raise Invalid_argument if the graph is not planar. *)

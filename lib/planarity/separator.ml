@@ -50,9 +50,9 @@ let triangulate g =
   while !continue && !rounds < 5 do
     incr rounds;
     continue := false;
-    match Dmp.embed !current with
-    | Dmp.Nonplanar -> invalid_arg "Separator.triangulate: non-planar"
-    | Dmp.Planar rot ->
+    match Planarity.embed !current with
+    | Planarity.Nonplanar -> invalid_arg "Separator.triangulate: non-planar"
+    | Planarity.Planar rot ->
         let added = Hashtbl.create 16 in
         let fresh = ref [] in
         List.iter
@@ -113,7 +113,7 @@ let separate g =
   if n = 0 then invalid_arg "Separator.separate: empty graph";
   if not (Traverse.is_connected g) then
     invalid_arg "Separator.separate: disconnected graph";
-  if not (Dmp.is_planar g) then
+  if not (Planarity.is_planar g) then
     invalid_arg "Separator.separate: non-planar graph";
   if n <= 3 then result_of g []
   else begin
