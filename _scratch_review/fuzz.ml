@@ -1,0 +1,37 @@
+(* ad-hoc differential fuzz: Lr vs Dmp on random graphs across densities *)
+let () =
+  let fails = ref 0 in
+  let checked = ref 0 in
+  let rng = Random.State.make [| 0xC0FFEE |] in
+  for _ = 1 to 4000 do
+    let n = 2 + Random.State.int rng 24 in
+    let maxm = n * (n - 1) / 2 in
+    let m = Random.State.int rng (min (3 * n) maxm + 1) in
+    let edges = ref [] in
+    let attempts = ref 0 in
+    while List.length !edges < m && !attempts < 10 * m + 20 do
+      incr attempts;
+      let u = Random.State.int rng n and v = Random.State.int rng n in
+      if u <> v then begin
+        let e = Gr.normalize_edge u v in
+        if not (List.mem e !edges) then edges := e :: !edges
+      end
+    done;
+    let g = Gr.of_edges ~n !edges in
+    incr checked;
+    let lr = Lr.embed g in
+    let dmp_p = Dmp.is_planar g in
+    (match lr, dmp_p with
+     | Lr.Planar r, true ->
+         if not (Rotation.is_planar_embedding r) then begin
+           incr fails; Printf.printf "BAD EMBED n=%d m=%d\n" n (Gr.m g)
+         end
+     | Lr.Nonplanar, false -> ()
+     | Lr.Planar _, false -> incr fails; Printf.printf "LR planar, DMP non n=%d m=%d\n" n (Gr.m g)
+     | Lr.Nonplanar, true -> incr fails; Printf.printf "LR non, DMP planar n=%d m=%d\n" n (Gr.m g));
+    if Lr.is_planar g <> dmp_p then begin
+      incr fails; Printf.printf "is_planar mismatch n=%d m=%d\n" n (Gr.m g)
+    end
+  done;
+  Printf.printf "fuzz done: %d graphs, %d failures\n" !checked !fails;
+  if !fails > 0 then exit 1
