@@ -1,0 +1,209 @@
+(* Certification-tier benchmark: certificate bits versus n and
+   prover / verifier wall time across the generator families.
+
+   Every case is verified before it is timed: the honest certificates
+   must be accepted by every node in at most one round, a handful of
+   seeded one-bit corruptions must all be rejected, and the mean
+   certificate must stay within 32 words (32·⌈log₂ n⌉ bits — the
+   O(log n) claim with its constant pinned). A case that fails any of
+   these poisons the run (nonzero exit).
+
+     dune exec bench/certify_bench.exe              # full sweep, up to n=30000
+     dune exec bench/certify_bench.exe -- --quick   # CI smoke: small tier,
+                                              # exit 1 on any gate
+     dune exec bench/certify_bench.exe -- --out F   # write the JSON to F
+
+   Results go to BENCH_certify.json and stdout. *)
+
+let measure ~reps f =
+  ignore (f ());
+  let best = ref infinity in
+  for _ = 1 to reps do
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    let t1 = Unix.gettimeofday () in
+    if t1 -. t0 < !best then best := t1 -. t0
+  done;
+  !best
+
+type case = {
+  name : string;
+  n : int;
+  m : int;
+  word : int;
+  total_bits : int;
+  mean_bits : float;
+  max_bits : int;
+  prove_wall : float;
+  verify_wall : float;
+  rounds : int;
+  accept : bool;
+  bounds_ok : bool;
+  mutants_tried : int;
+  mutants_rejected : int;
+}
+
+let mutant_seeds = [ 1; 2; 3; 4; 5 ]
+
+let run_case ~reps name g =
+  let n = Gr.n g and m = Gr.m g in
+  let r =
+    match Planarity.embed g with
+    | Planarity.Planar r -> r
+    | Planarity.Nonplanar ->
+        Printf.eprintf "certify bench: %s is not planar\n" name;
+        exit 2
+  in
+  (* Verification pass before any timing. *)
+  let certs = Certify.prove r in
+  let o = Certify.verify r certs in
+  let sz = o.Certify.size in
+  let bounds_ok =
+    match o.Certify.report.Network.verdict with
+    | Some v -> v.Bounds.rounds_ok && v.Bounds.message_ok && v.Bounds.burst_ok
+    | None -> false
+  in
+  let rejected =
+    List.fold_left
+      (fun acc seed ->
+        let bad = Certify.corrupt ~seed ~k:1 certs in
+        if (Certify.verify r bad).Certify.all_accept then acc else acc + 1)
+      0 mutant_seeds
+  in
+  let prove_wall = measure ~reps (fun () -> Certify.prove r) in
+  let verify_wall = measure ~reps (fun () -> Certify.verify r certs) in
+  let c =
+    {
+      name;
+      n;
+      m;
+      word = sz.Certify.word;
+      total_bits = sz.Certify.total_bits;
+      mean_bits = sz.Certify.mean_bits;
+      max_bits = sz.Certify.max_bits;
+      prove_wall;
+      verify_wall;
+      rounds = o.Certify.rounds;
+      accept = o.Certify.all_accept;
+      bounds_ok;
+      mutants_tried = List.length mutant_seeds;
+      mutants_rejected = rejected;
+    }
+  in
+  Printf.printf
+    "%-18s n=%-6d m=%-6d word=%-2d mean=%7.1fb (%4.1fw) max=%6db  prove \
+     %8.4fs  verify %8.4fs  rounds=%d  %s\n\
+     %!"
+    c.name c.n c.m c.word c.mean_bits
+    (c.mean_bits /. float_of_int c.word)
+    c.max_bits c.prove_wall c.verify_wall c.rounds
+    (if c.accept && c.bounds_ok && c.mutants_rejected = c.mutants_tried then
+       "ok"
+     else "FAIL");
+  c
+
+(* Workloads ---------------------------------------------------------- *)
+
+let cases quick =
+  let mp = if quick then [ 500; 2000 ] else [ 500; 2000; 8000; 30000 ] in
+  let gr = if quick then [ 22; 50 ] else [ 22; 50; 100; 173 ] in
+  let op = if quick then [ 500; 2000 ] else [ 500; 2000; 8000; 30000 ] in
+  let k4 = if quick then [ 80; 333 ] else [ 80; 333; 1333; 5000 ] in
+  List.concat
+    [
+      List.map
+        (fun n ->
+          ( Printf.sprintf "maxplanar-%d" n,
+            Gen.random_maximal_planar ~seed:(42 + n) n ))
+        mp;
+      List.map (fun s -> (Printf.sprintf "grid-%dx%d" s s, Gen.grid s s)) gr;
+      List.map
+        (fun n ->
+          ( Printf.sprintf "outerplanar-%d" n,
+            Gen.random_outerplanar ~seed:(7 + n) ~n ~chord_prob:0.5 ))
+        op;
+      List.map
+        (fun s -> (Printf.sprintf "k4-subdiv-%d" s, Gen.k4_subdivision s))
+        k4;
+    ]
+
+(* JSON ---------------------------------------------------------------- *)
+
+let json_of_cases cases =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"benchmark\": \"certify-prove-verify\",\n";
+  Buffer.add_string b
+    "  \"unit\": { \"wall\": \"seconds\", \"size\": \"bits\" },\n";
+  Buffer.add_string b "  \"cases\": [\n";
+  List.iteri
+    (fun i c ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"name\": %S, \"n\": %d, \"m\": %d, \"word_bits\": %d,\n\
+           \      \"total_bits\": %d, \"mean_bits\": %.1f, \
+            \"mean_words\": %.2f, \"max_bits\": %d,\n\
+           \      \"prove_wall_s\": %.6f, \"verify_wall_s\": %.6f, \
+            \"rounds\": %d,\n\
+           \      \"accept\": %b, \"bounds_ok\": %b, \
+            \"mutants_rejected\": \"%d/%d\" }%s\n"
+           c.name c.n c.m c.word c.total_bits c.mean_bits
+           (c.mean_bits /. float_of_int c.word)
+           c.max_bits c.prove_wall c.verify_wall c.rounds c.accept c.bounds_ok
+           c.mutants_rejected c.mutants_tried
+           (if i = List.length cases - 1 then "" else ",")))
+    cases;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+(* Driver -------------------------------------------------------------- *)
+
+let () =
+  let quick = ref false in
+  let out = ref "BENCH_certify.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--out" :: file :: rest ->
+        out := file;
+        parse rest
+    | [ "--out" ] ->
+        prerr_endline "certify: --out expects a file name";
+        exit 2
+    | arg :: _ ->
+        Printf.eprintf "certify: unknown argument %s\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let reps = if !quick then 2 else 3 in
+  Printf.printf "certification tier: prover and one-round verifier%s\n\n"
+    (if !quick then " [--quick]" else "");
+  let results =
+    List.map (fun (name, g) -> run_case ~reps name g) (cases !quick)
+  in
+  let oc = open_out !out in
+  output_string oc (json_of_cases results);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" !out;
+  (* Gates: any clean family rejecting, any surviving mutant, more than
+     one verification round, a failed Bounds verdict, or a mean
+     certificate above 32 words poisons the run. *)
+  let bad =
+    List.filter
+      (fun c ->
+        (not c.accept) || (not c.bounds_ok) || c.rounds > 1
+        || c.mutants_rejected < c.mutants_tried
+        || c.mean_bits > 32. *. float_of_int c.word)
+      results
+  in
+  List.iter
+    (fun c ->
+      Printf.eprintf
+        "certify: gate failed on %s (accept=%b bounds=%b rounds=%d \
+         mutants=%d/%d mean=%.1fb word=%d)\n"
+        c.name c.accept c.bounds_ok c.rounds c.mutants_rejected
+        c.mutants_tried c.mean_bits c.word)
+    bad;
+  if bad <> [] then exit 1

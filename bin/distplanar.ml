@@ -521,6 +521,144 @@ let chaos_cmd =
           counts and embedding verdicts.")
     term
 
+let certify_cmd =
+  let corrupt_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corrupt" ] ~docv:"K@SEED"
+          ~doc:
+            "Flip one random certificate bit at each of $(i,K) distinct \
+             nodes (chosen by $(i,SEED)) and assert the verifier rejects.")
+  in
+  let via_t =
+    Arg.(
+      value
+      & opt (enum [ ("kernel", `Kernel); ("embedder", `Embedder) ]) `Kernel
+      & info [ "via" ]
+          ~doc:
+            "Where the rotation comes from: the centralized planarity \
+             $(b,kernel) or the full distributed $(b,embedder).")
+  in
+  let kernel_t =
+    Arg.(
+      value & opt string "lr"
+      & info [ "kernel" ] ~doc:"Planarity kernel for --via kernel: lr | dmp.")
+  in
+  let domains_t =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~doc:"Run the verification round on this many domains.")
+  in
+  let parse_corrupt s =
+    match String.split_on_char '@' s with
+    | [ k; seed ] -> (
+        match (int_of_string_opt k, int_of_string_opt seed) with
+        | (Some k, Some seed) when k >= 0 -> (k, seed)
+        | _ ->
+            Printf.eprintf "certify: cannot parse --corrupt %S (want K@SEED)\n" s;
+            exit 2)
+    | _ ->
+        Printf.eprintf "certify: cannot parse --corrupt %S (want K@SEED)\n" s;
+        exit 2
+  in
+  let run family n rows cols seglen seed m chord via kernel corrupt domains =
+    let g = make_graph family n rows cols seglen seed m chord in
+    graph_summary g;
+    let rotation =
+      match via with
+      | `Kernel -> (
+          let kernel =
+            match Planarity.kernel_of_string kernel with
+            | Some k -> k
+            | None ->
+                Printf.eprintf "certify: unknown kernel %S (want lr | dmp)\n"
+                  kernel;
+                exit 2
+          in
+          Printf.printf "rotation from    : %s kernel\n"
+            (Planarity.kernel_name kernel);
+          match Planarity.embed ~kernel g with
+          | Planarity.Planar r -> r
+          | Planarity.Nonplanar ->
+              Printf.printf "verdict          : not planar — nothing to certify\n";
+              exit 1)
+      | `Embedder -> (
+          Printf.printf "rotation from    : distributed embedder\n";
+          match (Embedder.run g).Embedder.rotation with
+          | Some r -> r
+          | None ->
+              Printf.printf "verdict          : not planar — nothing to certify\n";
+              exit 1)
+    in
+    let certs = Certify.prove rotation in
+    let corrupted = Option.map parse_corrupt corrupt in
+    let certs =
+      match corrupted with
+      | None -> certs
+      | Some (k, cseed) ->
+          Printf.printf "corruption       : 1 bit at each of %d nodes (seed %d)\n"
+            k cseed;
+          Certify.corrupt ~seed:cseed ~k certs
+    in
+    let m = Metrics.create g in
+    let o =
+      Certify.verify ~domains ~observe:(Observe.make ~metrics:m ()) rotation
+        certs
+    in
+    let sz = o.Certify.size in
+    Printf.printf "certificates     : mean %.1f bits/node (%.1f words), max \
+                   %d bits, word %d bits\n"
+      sz.Certify.mean_bits
+      (sz.Certify.mean_bits /. float_of_int sz.Certify.word)
+      sz.Certify.max_bits sz.Certify.word;
+    Printf.printf "verification     : %d round(s), %d messages, %d bits on \
+                   the wire\n"
+      o.Certify.rounds (Metrics.messages m) (Metrics.total_bits m);
+    (match o.Certify.report.Network.verdict with
+    | Some v ->
+        Printf.printf "one-round bound  : %s (rounds %d <= %d, max message \
+                       %d <= %d bits)\n"
+          (if v.Bounds.rounds_ok && v.Bounds.message_ok then "ok" else "VIOLATED")
+          v.Bounds.rounds v.Bounds.round_bound v.Bounds.max_message_bits
+          v.Bounds.message_bound
+    | None -> ());
+    let rejecting =
+      Array.to_seq o.Certify.reasons
+      |> Seq.mapi (fun v r -> (v, r))
+      |> Seq.filter (fun (_, r) -> r <> 0)
+      |> List.of_seq
+    in
+    (match rejecting with
+    | [] -> ()
+    | (v, r) :: _ ->
+        Printf.printf "first rejection  : node %d (%s); %d node(s) reject\n" v
+          (Certify.reason_name r) (List.length rejecting));
+    match corrupted with
+    | None ->
+        Printf.printf "verdict          : %s\n"
+          (if o.Certify.all_accept then "all nodes accept" else "REJECTED");
+        if not o.Certify.all_accept then exit 1
+    | Some _ ->
+        Printf.printf "verdict          : %s\n"
+          (if o.Certify.all_accept then "CORRUPTION NOT DETECTED"
+           else "corruption detected, as demanded");
+        if o.Certify.all_accept then exit 1
+  in
+  let term =
+    Term.(
+      const run $ family_t $ n_t $ rows_t $ cols_t $ seglen_t $ seed_t $ m_t
+      $ chord_t $ via_t $ kernel_t $ corrupt_t $ domains_t)
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Assign every node an O(log n)-bit planarity certificate (the \
+          proof-labeling prover) and re-verify the embedding in one CONGEST \
+          round; with --corrupt, flip certificate bits and assert the \
+          network rejects.")
+    term
+
 let families_cmd =
   let run () = print_endline family_doc in
   Cmd.v (Cmd.info "families" ~doc:"List graph families.") Term.(const run $ const ())
@@ -533,4 +671,4 @@ let () =
   let info = Cmd.info "distplanar" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ embed_cmd; baseline_cmd; check_cmd; witness_cmd; separator_cmd;
-         trace_cmd; chaos_cmd; families_cmd ]))
+         trace_cmd; chaos_cmd; certify_cmd; families_cmd ]))

@@ -80,6 +80,20 @@ let double_talk rounds_left =
     msg_bits = (fun _ -> 8);
   }
 
+(* The certification verifier (ISSUE 6) as a probe protocol: an init
+   burst of record-carrying messages plus a one-round fold with a
+   min-merge — pins the one-round verifier bit-identical across engines
+   and shard counts. Non-planar families verify the certificates of an
+   arbitrary rotation (they reject — the protocol still runs the same
+   wire schedule, which is all this suite cares about). *)
+let certify_proto g =
+  let r =
+    match Planarity.embed g with
+    | Planarity.Planar r -> r
+    | Planarity.Nonplanar -> Rotation.of_sorted_adjacency g
+  in
+  Certify.protocol r (Certify.prove r)
+
 let run_legacy proto g =
   let m = Metrics.create g in
   let tr = Trace.create ~keep_messages:true () in
@@ -184,14 +198,17 @@ let diff_sharded name proto g =
     shard_counts
 
 let diff_all_protocols name g =
+  let certify = certify_proto g in
   diff_one (name ^ "/hello") hello g;
   diff_one (name ^ "/flood") flood g;
   diff_one (name ^ "/order-hash") (order_hash 5) g;
   diff_one (name ^ "/double-talk") (double_talk 4) g;
+  diff_one (name ^ "/certify") certify g;
   diff_sharded (name ^ "/hello") hello g;
   diff_sharded (name ^ "/flood") flood g;
   diff_sharded (name ^ "/order-hash") (order_hash 5) g;
-  diff_sharded (name ^ "/double-talk") (double_talk 4) g
+  diff_sharded (name ^ "/double-talk") (double_talk 4) g;
+  diff_sharded (name ^ "/certify") certify g
 
 let fixed_families =
   [
