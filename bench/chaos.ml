@@ -61,7 +61,8 @@ type overhead = {
 
 let run_overhead name g =
   let clean, clean_wall =
-    measure (fun () -> Network.exec ~bandwidth:4096 g flood)
+    measure (fun () ->
+        Network.exec ~config:(Network.Config.make ~bandwidth:4096 ()) g flood)
   in
   let stats = Reliable.counters () in
   let reliable, reliable_wall =
@@ -122,7 +123,7 @@ let run_sweep ?(jobs = 1) name g ~drops ~seed =
     Pool.map ~jobs (Array.length drops) (fun i ->
         let drop = drops.(i) in
         let plan = Fault.make ~spec:{ Fault.default with drop } ~seed () in
-        let o = Embedder.run ~faults:plan g in
+        let o = Embedder.run ~config:(Network.Config.make ~faults:plan ()) g in
         let st = Fault.stats plan in
         let euler_ok =
           match o.Embedder.rotation with
@@ -173,7 +174,10 @@ let run_crash name g ~node ~at ~restart =
   let bandwidth = Network.default_bandwidth g in
   let clean = Metrics.create g in
   let clean_states =
-    Proto.leader_bfs ~observe:(Observe.of_metrics clean) g ~bandwidth
+    Proto.leader_bfs
+      ~config:
+        (Network.Config.make ~observe:(Observe.of_metrics clean) ~bandwidth ())
+      g
   in
   let spec =
     { Fault.default with crashes = [ { Fault.node; at; restart = Some restart } ] }
@@ -181,7 +185,11 @@ let run_crash name g ~node ~at ~restart =
   let plan = Fault.make ~spec ~seed:5 () in
   let m = Metrics.create g in
   let states =
-    Proto.leader_bfs ~observe:(Observe.of_metrics m) ~faults:plan g ~bandwidth
+    Proto.leader_bfs
+      ~config:
+        (Network.Config.make ~observe:(Observe.of_metrics m) ~faults:plan
+           ~bandwidth ())
+      g
   in
   let st = Fault.stats plan in
   let agree = ref true in

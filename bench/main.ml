@@ -423,7 +423,11 @@ let trace_run file =
   let n = if !quick then 250 else 1000 in
   let g = maxplanar n in
   let tr = Trace.create () in
-  let o = Embedder.run ~mode:Part.Economy ~observe:(Observe.of_trace tr) g in
+  let o =
+    Embedder.run
+      ~config:(Network.Config.make ~observe:(Observe.of_trace tr) ())
+      ~mode:Part.Economy g
+  in
   let r = o.Embedder.report in
   let d = Traverse.diameter g in
   let meta =

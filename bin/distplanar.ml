@@ -251,7 +251,10 @@ let trace_cmd =
     let d = Traverse.diameter g in
     let tr = Trace.create ~keep_messages () in
     let o =
-      try Embedder.run ~mode ~observe:(Observe.of_trace tr) g
+      try
+        Embedder.run
+          ~config:(Network.Config.make ~observe:(Observe.of_trace tr) ())
+          ~mode g
       with Network.No_quiescence { round; active; messages } ->
         (* A protocol that never goes quiet: say where it was stuck, not
            just that it was — the innermost still-open span is the
@@ -468,7 +471,9 @@ let chaos_cmd =
       let seed = seed + i in
       let plan = Fault.make ~spec ~seed () in
       let ok, verdict, rounds =
-        match Embedder.run ~mode ~faults:plan g with
+        match
+          Embedder.run ~config:(Network.Config.make ~faults:plan ()) ~mode g
+        with
         | o -> (
             let r = o.Embedder.report.Embedder.rounds in
             match o.Embedder.rotation with
@@ -550,6 +555,12 @@ let certify_cmd =
       value & opt int 1
       & info [ "domains" ] ~doc:"Run the verification round on this many domains.")
   in
+  let epoch_t =
+    Arg.(
+      value & opt int 8
+      & info [ "epoch" ]
+          ~doc:"Maximum rounds a shard may advance between barriers.")
+  in
   let parse_corrupt s =
     match String.split_on_char '@' s with
     | [ k; seed ] -> (
@@ -562,7 +573,8 @@ let certify_cmd =
         Printf.eprintf "certify: cannot parse --corrupt %S (want K@SEED)\n" s;
         exit 2
   in
-  let run family n rows cols seglen seed m chord via kernel corrupt domains =
+  let run family n rows cols seglen seed m chord via kernel corrupt domains
+      epoch =
     let g = make_graph family n rows cols seglen seed m chord in
     graph_summary g;
     let rotation =
@@ -603,8 +615,11 @@ let certify_cmd =
     in
     let m = Metrics.create g in
     let o =
-      Certify.verify ~domains ~observe:(Observe.make ~metrics:m ()) rotation
-        certs
+      Certify.verify
+        ~config:
+          (Network.Config.make ~domains ~epoch
+             ~observe:(Observe.make ~metrics:m ()) ())
+        rotation certs
     in
     let sz = o.Certify.size in
     Printf.printf "certificates     : mean %.1f bits/node (%.1f words), max \
@@ -648,7 +663,7 @@ let certify_cmd =
   let term =
     Term.(
       const run $ family_t $ n_t $ rows_t $ cols_t $ seglen_t $ seed_t $ m_t
-      $ chord_t $ via_t $ kernel_t $ corrupt_t $ domains_t)
+      $ chord_t $ via_t $ kernel_t $ corrupt_t $ domains_t $ epoch_t)
   in
   Cmd.v
     (Cmd.info "certify"

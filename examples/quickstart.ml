@@ -87,10 +87,12 @@ let () =
       in
       let r =
         Network.exec
-          ~observe:
-            (Observe.make
-               ~bounds:(Observe.bounds_spec ~d:(Traverse.diameter g) ())
-               ())
+          ~config:
+            (Network.Config.default
+            |> Network.Config.with_observe
+                 (Observe.make
+                    ~bounds:(Observe.bounds_spec ~d:(Traverse.diameter g) ())
+                    ()))
           g flood_leader
       in
       Printf.printf

@@ -398,13 +398,16 @@ type outcome = {
   size : size;
 }
 
-let verify ?(domains = 1) ?(observe = Observe.none) ?bandwidth ?faults r certs
-    =
+let verify ?(config = Network.Config.default) r certs =
   let g = Rotation.graph r in
   check_graphs "Certify.verify" g certs.graph;
   let bandwidth =
-    match bandwidth with Some b -> b | None -> Network.default_bandwidth g
+    match config.Network.Config.bandwidth with
+    | Some b -> b
+    | None -> Network.default_bandwidth g
   in
+  let faults = config.Network.Config.faults in
+  let observe = config.Network.Config.observe in
   let proto = protocol r certs in
   (* A clean run self-checks the one-round claim: with d = 0 and
      c_rounds = 1 the Bounds round budget is exactly one round, and
@@ -428,9 +431,17 @@ let verify ?(domains = 1) ?(observe = Observe.none) ?bandwidth ?faults r certs
   in
   let run () =
     match faults with
-    | None -> Network.exec ~domains ~bandwidth ~observe g proto
+    | None ->
+        Network.exec
+          ~config:
+            {
+              config with
+              Network.Config.bandwidth = Some bandwidth;
+              observe;
+            }
+          g proto
     | Some plan ->
-        if domains > 1 then
+        if config.Network.Config.domains > 1 then
           invalid_arg
             "Certify.verify: a fault plan requires domains = 1 — reliable \
              delivery runs on the sequential clocked engine";

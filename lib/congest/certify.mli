@@ -139,21 +139,15 @@ type outcome = {
   size : size;  (** the certificate-size accounting of the run. *)
 }
 
-val verify :
-  ?domains:int ->
-  ?observe:Observe.t ->
-  ?bandwidth:int ->
-  ?faults:Fault.plan ->
-  Rotation.t ->
-  t ->
-  outcome
-(** Run the distributed verifier on {!Network.exec}. Observation
-    threads through [observe] exactly as in {!Proto}: a metrics sink
+val verify : ?config:Network.Config.t -> Rotation.t -> t -> outcome
+(** Run the distributed verifier on {!Network.exec} under [config]
+    (default {!Network.Config.default}). Observation threads through
+    the config's [observe] exactly as in {!Proto}: a metrics sink
     counts the certificate bits on the wire, a trace sink gets a
     [certify.verify] span, and unless the caller installed their own
     bounds request a clean run self-checks the one-round claim
     ([Observe.bounds_spec ~c_rounds:1 ~d:0]) and returns the verdict in
-    [report]. Installing a [faults] plan routes the round through
+    [report]. A config with a fault plan routes the round through
     {!Reliable} on the fault-aware engine — more rounds (acks,
     retransmissions, the grace period), same verdict; incompatible with
     [domains > 1], as everywhere.

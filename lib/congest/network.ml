@@ -23,6 +23,44 @@ type report = {
 
 type 's run_result = { states : 's array; rounds : int; report : report }
 
+(* The run configuration: every engine knob in one value, so call sites
+   thread one [Config.t] instead of re-threading five optional labels
+   per layer. [default] is sequential, unobserved, fault-free. *)
+module Config = struct
+  type t = {
+    domains : int;
+    epoch : int;
+    steal : int;
+    bandwidth : int option;
+    max_rounds : int option;
+    observe : Observe.t;
+    faults : Fault.plan option;
+  }
+
+  let default =
+    {
+      domains = 1;
+      epoch = 8;
+      steal = 4;
+      bandwidth = None;
+      max_rounds = None;
+      observe = Observe.none;
+      faults = None;
+    }
+
+  let with_domains domains c = { c with domains }
+  let with_epoch epoch c = { c with epoch }
+  let with_steal steal c = { c with steal }
+  let with_bandwidth b c = { c with bandwidth = Some b }
+  let with_max_rounds r c = { c with max_rounds = Some r }
+  let with_observe observe c = { c with observe }
+  let with_faults p c = { c with faults = Some p }
+
+  let make ?(domains = 1) ?bandwidth ?max_rounds ?(observe = Observe.none)
+      ?faults ?(epoch = 8) ?(steal = 4) () =
+    { domains; epoch; steal; bandwidth; max_rounds; observe; faults }
+end
+
 (* In-place ascending heapsort of a.(0 .. k-1): the engine's worklists
    live in preallocated buffers, so the sort must not allocate. *)
 let sort_prefix a k =
@@ -526,48 +564,11 @@ let exec_faulty ~plan ?bandwidth ?max_rounds ?(observe = Observe.none) g proto =
   }
 
 (* ------------------------------------------------------------------ *)
-(* The domain-sharded BSP engine (Tier A of the multicore layer)       *)
+(* The epoch-batched work-stealing engine (Tier A of the multicore     *)
+(* layer)                                                              *)
 (* ------------------------------------------------------------------ *)
 
-(* Reusable sense-reversing barrier: the round loop synchronizes its
-   domains three times per round, so the barrier must survive reuse
-   without re-allocation. Mutex/condvar (not spinning) — a sharded run
-   on an oversubscribed machine must degrade, not livelock. *)
-module Barrier = struct
-  type t = {
-    m : Mutex.t;
-    c : Condition.t;
-    parties : int;
-    mutable arrived : int;
-    mutable epoch : int;
-  }
-
-  let make parties =
-    {
-      m = Mutex.create ();
-      c = Condition.create ();
-      parties;
-      arrived = 0;
-      epoch = 0;
-    }
-
-  let wait b =
-    Mutex.lock b.m;
-    let e = b.epoch in
-    b.arrived <- b.arrived + 1;
-    if b.arrived = b.parties then begin
-      b.arrived <- 0;
-      b.epoch <- e + 1;
-      Condition.broadcast b.c
-    end
-    else
-      while b.epoch = e do
-        Condition.wait b.c b.m
-      done;
-    Mutex.unlock b.m
-end
-
-(* Growable int buffer, reused across rounds: per-domain stagings and
+(* Growable int buffer, reused across rounds: per-slot stagings and
    event logs have no static bound, so they amortize to their peak and
    stay there. *)
 module Ibuf = struct
@@ -587,52 +588,65 @@ module Ibuf = struct
     t.len <- t.len + 1
 end
 
-(* A shard aborts at its first error so its event buffer is exactly the
+(* A slot aborts at its first error so its event buffer is exactly the
    prefix the sequential engine would have recorded before raising:
-   [pos] is the buffered event count at the instant the error struck. *)
+   [pos] is the buffered event count at the instant the error struck,
+   [rnd] the absolute round (epoch tasks run several rounds between
+   merges, so the slot must remember which one failed). *)
 exception Stop_shard
 
-type shard_error = { pos : int; err : exn }
+type slot_error = { rnd : int; pos : int; err : exn }
 
-(* The sharded BSP loop. The CSR node range is split into [k] contiguous
-   shards, one domain each (the calling domain doubles as shard 0). Per
-   round:
+(* The parallel round engine. The node range is split into [k]
+   contiguous shards; a persistent [Pool.t] of [k] domains executes the
+   parallel sections, claiming tasks dynamically. Each global iteration
+   picks one of two modes:
 
-     setup (serial)    sort the staged recipients, publish the active
-                       slice, reset round counters;
-     deliver (parallel) each domain drains its own shard's recipients —
-                       the in-darts of a node form one contiguous CSR
-                       range, so all writes are shard-local;
-     compute (parallel) each domain steps its shard's active nodes in
-                       ascending id order. A message lands on the dart
-                       [src -> dst], and every dart has exactly one
-                       source, owned by exactly one shard — so mailbox
-                       and load writes are race-free {e by construction},
-                       with no cross-shard locks;
-     merge (serial)    per-domain counters fold into the round totals,
-                       buffered (dart, bits) events replay into the
-                       metrics/trace sinks in shard order — which equals
-                       the sequential engine's ascending-node send order,
-                       because shards are contiguous ascending ranges —
-                       and newly staged recipients dedupe into the global
-                       worklist in first-stage order.
+   {b Chunk mode} (epoch width 1 — the active set touches a shard
+   boundary, or epochs are disabled). The {e sorted active list} — not
+   the node range — is split into up to [k * steal] contiguous index
+   chunks, so a wavefront concentrated in one shard still spreads over
+   every domain, and the work-stealing pool keeps all domains busy even
+   when chunk costs are skewed. Deliver and compute are separate pool
+   dispatches (a barrier sits between them because sends may cross
+   chunks); per-chunk counters, event logs and stagings then merge in
+   chunk order, which equals ascending node order, which equals the
+   sequential engine's visit order.
 
-   The result — states, rounds, report, metrics, trace — is therefore
-   bit-identical to [exec_clean] for every shard count; the differential
-   suite (test_engine_diff.ml) holds it to that, shard counts 1/2/3/7.
-   Error behavior is faithful too: each shard stops at its first error,
+   {b Epoch mode} (width e >= 2). [dist.(v)] — precomputed once by
+   multi-source BFS — is the hop distance from [v] to the nearest
+   {e frontier} node (one with a neighbor in another shard). If every
+   active node has [dist >= e], then inductively every node computing in
+   local round j of the epoch has [dist >= e - (j - 1) >= 1], so {e no
+   send leaves its shard for e rounds}: each shard runs e fused
+   deliver+compute rounds against the shared dart state it exclusively
+   owns, touching the pool barrier twice per epoch instead of twice per
+   round. Boundary darts cannot be written during the epoch by
+   construction — the "flush" of boundary traffic is the return to
+   width-1 chunk mode as soon as the active set nears a frontier.
+   Per-shard round logs (cumulative counters + event/staging watermarks
+   per local round) let the serial epoch merge replay what the
+   sequential engine would have recorded, round by round in shard
+   order.
+
+   Both merges preserve bit-identity with [exec_clean] — states,
+   rounds, report, metrics, trace — at every (domains, epoch, steal);
+   the differential suite (test_engine_diff.ml) holds them to that.
+   Error behavior is faithful too: each slot stops at its first error,
    the merge replays exactly the event prefix the sequential engine
-   would have recorded (shards below the failing one in full, the
-   failing shard up to the error), and re-raises the lowest shard's
-   error — the one sequential execution would have hit first.
+   would have recorded (slots below the failing one in full, the
+   failing slot up to the error — for epochs, complete rounds before
+   the failing round first), and re-raises the error the sequential
+   sweep would have hit first: lowest (round, slot).
 
    Protocols must be pure (no shared mutable state in their closures):
    [init]/[round] of different nodes run concurrently, and [init] of
    node 0 is invoked one extra time to seed the states array. *)
-let exec_sharded ~domains ?bandwidth ?max_rounds ?(observe = Observe.none) g
-    proto =
+let exec_parallel ~domains ~epoch ~steal ?bandwidth ?max_rounds
+    ?(observe = Observe.none) g proto =
   let n = Gr.n g in
   let k = domains in
+  let epoch_max = epoch in
   let bandwidth =
     match bandwidth with Some b -> b | None -> default_bandwidth g
   in
@@ -658,12 +672,58 @@ let exec_sharded ~domains ?bandwidth ?max_rounds ?(observe = Observe.none) g
     done
   done;
   (* Replay is only needed when a sink actually consumes per-message
-     events; a trace that drops messages costs nothing in the shards. *)
+     events; a trace that drops messages costs nothing in the slots. *)
   let observing =
     Option.is_some metrics
     || (match trace with Some tr -> Trace.keep_messages tr | None -> false)
   in
   let shard_lo = Array.init (k + 1) (fun i -> i * n / k) in
+  (* Hop distance to the nearest shard frontier, the epoch-legality
+     oracle: an epoch of width e is sound iff every active node is at
+     distance >= e. Nodes in components with no frontier keep max_int —
+     their activity can never leave the shard. *)
+  let dist =
+    if epoch_max <= 1 then [||]
+    else begin
+      let sid = Array.make (max 1 n) 0 in
+      for i = 0 to k - 1 do
+        for v = shard_lo.(i) to shard_lo.(i + 1) - 1 do
+          sid.(v) <- i
+        done
+      done;
+      let d = Array.make (max 1 n) max_int in
+      let q = Array.make (max 1 n) 0 in
+      let qt = ref 0 in
+      for v = 0 to n - 1 do
+        let frontier = ref false in
+        let dd = ref xadj.(v) in
+        while (not !frontier) && !dd < xadj.(v + 1) do
+          if sid.(srcs.(!dd)) <> sid.(v) then frontier := true;
+          incr dd
+        done;
+        if !frontier then begin
+          d.(v) <- 0;
+          q.(!qt) <- v;
+          incr qt
+        end
+      done;
+      let qh = ref 0 in
+      while !qh < !qt do
+        let u = q.(!qh) in
+        incr qh;
+        let du = d.(u) in
+        for dd = xadj.(u) to xadj.(u + 1) - 1 do
+          let w = srcs.(dd) in
+          if d.(w) > du + 1 then begin
+            d.(w) <- du + 1;
+            q.(!qt) <- w;
+            incr qt
+          end
+        done
+      done;
+      d
+    end
+  in
   let box : 'm list array = Array.make (max 1 nd) [] in
   let load = Array.make (max 1 nd) 0 in
   let has_mail = Array.make (max 1 n) false in
@@ -683,25 +743,45 @@ let exec_sharded ~domains ?bandwidth ?max_rounds ?(observe = Observe.none) g
   let max_msg_bits = ref 0 in
   let max_burst = ref 0 in
   let active_peak = ref 0 in
-  (* Per-domain accumulators: counters fold at the barrier, stagings
-     dedupe there, events replay there. Allocated per domain (not one
-     shared matrix) so the hot counters of different domains do not share
-     cache lines. *)
-  let d_msgs = Array.make k 0 in
-  let d_bits = Array.make k 0 in
-  let d_maxmsg = Array.make k 0 in
-  let d_maxburst = Array.make k 0 in
-  let d_staged = Array.init k (fun _ -> Ibuf.make 64) in
-  let d_events = Array.init k (fun _ -> Ibuf.make (if observing then 256 else 16)) in
-  let d_err : shard_error option array = Array.make k None in
-  let send i u (v, msg) =
+  (* Per-slot accumulators: a slot is a chunk in chunk mode (up to
+     k * steal of them) or a shard in epoch mode (the first k). Counters
+     fold at the merge, stagings dedupe there, events replay there. *)
+  let nslots = k * steal in
+  let sl_msgs = Array.make nslots 0 in
+  let sl_bits = Array.make nslots 0 in
+  let sl_maxmsg = Array.make nslots 0 in
+  let sl_maxburst = Array.make nslots 0 in
+  let sl_staged = Array.init nslots (fun _ -> Ibuf.make 64) in
+  let sl_events =
+    Array.init nslots (fun _ -> Ibuf.make (if observing then 256 else 16))
+  in
+  let sl_err : slot_error option array = Array.make nslots None in
+  (* Epoch-mode per-shard logs. [sh_dstaged] accumulates the {e deduped}
+     staged recipients of every local round in first-touch order;
+     [sh_rlog] stores five ints per completed local round — cumulative
+     messages, cumulative bits, active count, event watermark, staging
+     watermark — so the merge can reconstruct per-round deltas and
+     slices. [sh_cur] is the shard's working (sorted) active list. *)
+  let sh_dstaged = Array.init k (fun _ -> Ibuf.make 64) in
+  let sh_rlog = Array.init k (fun _ -> Ibuf.make 80) in
+  let sh_cur = Array.init k (fun _ -> Ibuf.make 64) in
+  (* Merge-time per-dart load reconstruction (epoch rounds only): the
+     real [load] array has been reused by later local rounds by the time
+     the merge runs, so burst accounting replays into a scratch copy. *)
+  let mload =
+    if Option.is_some metrics && epoch_max > 1 then Array.make (max 1 nd) 0
+    else [||]
+  in
+  let mtouch = Ibuf.make 256 in
+  let send slot rnd u (v, msg) =
     let d =
       let s = rank srcs xadj.(u) (xadj.(u + 1) - 1) v in
       if s < 0 then begin
-        d_err.(i) <-
+        sl_err.(slot) <-
           Some
             {
-              pos = d_events.(i).Ibuf.len;
+              rnd;
+              pos = sl_events.(slot).Ibuf.len;
               err =
                 Invalid_argument
                   (Printf.sprintf "Network.run: node %d sent to non-neighbor %d"
@@ -713,41 +793,54 @@ let exec_sharded ~domains ?bandwidth ?max_rounds ?(observe = Observe.none) g
     in
     let bits = proto.msg_bits msg in
     if observing then begin
-      Ibuf.push d_events.(i) d;
-      Ibuf.push d_events.(i) bits
+      Ibuf.push sl_events.(slot) d;
+      Ibuf.push sl_events.(slot) bits
     end;
-    d_msgs.(i) <- d_msgs.(i) + 1;
-    d_bits.(i) <- d_bits.(i) + bits;
-    if bits > d_maxmsg.(i) then d_maxmsg.(i) <- bits;
+    sl_msgs.(slot) <- sl_msgs.(slot) + 1;
+    sl_bits.(slot) <- sl_bits.(slot) + bits;
+    if bits > sl_maxmsg.(slot) then sl_maxmsg.(slot) <- bits;
     (match box.(d) with
-    | [] -> Ibuf.push d_staged.(i) v
+    | [] -> Ibuf.push sl_staged.(slot) v
     | _ :: _ -> ());
     box.(d) <- msg :: box.(d);
     let now = load.(d) + bits in
     load.(d) <- now;
-    if now > d_maxburst.(i) then d_maxburst.(i) <- now;
+    if now > sl_maxburst.(slot) then sl_maxburst.(slot) <- now;
     if now > bandwidth then begin
       (* The sequential engine records the violating message in its
          sinks before raising; [pos] already includes it. *)
-      d_err.(i) <-
+      sl_err.(slot) <-
         Some
           {
-            pos = d_events.(i).Ibuf.len;
-            err = Bandwidth_exceeded { round = !round; u; v; bits = now };
+            rnd;
+            pos = sl_events.(slot).Ibuf.len;
+            err = Bandwidth_exceeded { round = rnd; u; v; bits = now };
           };
       raise_notrace Stop_shard
     end
   in
-  let shard_init i =
-    try
-      for v = shard_lo.(i) to shard_lo.(i + 1) - 1 do
-        let (s, out) = proto.init g v in
-        states.(v) <- s;
-        List.iter (send i v) out
-      done
-    with
-    | Stop_shard -> ()
-    | e -> d_err.(i) <- Some { pos = d_events.(i).Ibuf.len; err = e }
+  (* Replay buffered event pairs [lo, hi) of a slot into the sinks; with
+     [tally] also rebuild the per-dart round loads for burst accounting
+     (epoch merge only). *)
+  let replay ~tally slot lo hi =
+    let ev = sl_events.(slot).Ibuf.a in
+    for j = lo to hi - 1 do
+      let d = ev.(2 * j) and bits = ev.((2 * j) + 1) in
+      let u = srcs.(d) and v = head.(d) in
+      (match metrics with
+      | Some m ->
+          Metrics.add_message_at m
+            ~dir:((2 * dedge.(d)) + if u < v then 0 else 1)
+            ~bits;
+          if tally then begin
+            if mload.(d) = 0 then Ibuf.push mtouch d;
+            mload.(d) <- mload.(d) + bits
+          end
+      | None -> ());
+      match trace with
+      | Some tr -> Trace.on_message tr ~round:(base + !round) ~src:u ~dst:v ~bits
+      | None -> ()
+    done
   in
   (* First index in the sorted active prefix holding a node >= x. *)
   let lower_bound x =
@@ -759,129 +852,6 @@ let exec_sharded ~domains ?bandwidth ?max_rounds ?(observe = Observe.none) g
       end
     in
     go 0 !n_active
-  in
-  let shard_deliver i =
-    try
-      let a = lower_bound shard_lo.(i) and b = lower_bound shard_lo.(i + 1) in
-      for idx = a to b - 1 do
-        let v = active_buf.(idx) in
-        has_mail.(v) <- false;
-        let acc = ref [] in
-        for d = xadj.(v + 1) - 1 downto xadj.(v) do
-          (match box.(d) with
-          | [] -> ()
-          | msgs ->
-              let u = srcs.(d) in
-              List.iter (fun m -> acc := (u, m) :: !acc) msgs;
-              box.(d) <- []);
-          load.(d) <- 0
-        done;
-        inbox.(v) <- !acc
-      done
-    with e -> d_err.(i) <- Some { pos = d_events.(i).Ibuf.len; err = e }
-  in
-  let shard_compute i =
-    try
-      let a = lower_bound shard_lo.(i) and b = lower_bound shard_lo.(i + 1) in
-      for idx = a to b - 1 do
-        let v = active_buf.(idx) in
-        let (s, out) = proto.round g v states.(v) inbox.(v) in
-        inbox.(v) <- [];
-        states.(v) <- s;
-        List.iter (send i v) out
-      done
-    with
-    | Stop_shard -> ()
-    | e -> d_err.(i) <- Some { pos = d_events.(i).Ibuf.len; err = e }
-  in
-  let phase = ref `Init in
-  let bar = Barrier.make k in
-  let worker i () =
-    let running = ref true in
-    while !running do
-      Barrier.wait bar;
-      match !phase with
-      | `Init ->
-          shard_init i;
-          Barrier.wait bar
-      | `Step ->
-          shard_deliver i;
-          Barrier.wait bar;
-          shard_compute i;
-          Barrier.wait bar
-      | `Quit -> running := false
-    done
-  in
-  let workers =
-    Array.init (k - 1) (fun j -> Domain.spawn (fun () -> worker (j + 1) ()))
-  in
-  (* Serial sections run while the workers are parked at the loop-top
-     barrier, so shutting down — on completion or on any raise — is one
-     phase flip, one barrier, k-1 joins. *)
-  let shutdown () =
-    phase := `Quit;
-    Barrier.wait bar;
-    Array.iter Domain.join workers
-  in
-  let fail_with e =
-    shutdown ();
-    raise e
-  in
-  let replay i pairs =
-    let ev = d_events.(i).Ibuf.a in
-    for j = 0 to pairs - 1 do
-      let d = ev.(2 * j) and bits = ev.((2 * j) + 1) in
-      let u = srcs.(d) and v = head.(d) in
-      (match metrics with
-      | Some m ->
-          Metrics.add_message_at m
-            ~dir:((2 * dedge.(d)) + if u < v then 0 else 1)
-            ~bits
-      | None -> ());
-      match trace with
-      | Some tr -> Trace.on_message tr ~round:(base + !round) ~src:u ~dst:v ~bits
-      | None -> ()
-    done
-  in
-  (* Fold the parallel phase back into the global round state; on error,
-     replay only the sequential prefix and re-raise. *)
-  let merge_sends () =
-    let erri = ref (-1) in
-    for i = k - 1 downto 0 do
-      if d_err.(i) <> None then erri := i
-    done;
-    if !erri >= 0 then begin
-      let { pos; err } =
-        match d_err.(!erri) with Some e -> e | None -> assert false
-      in
-      if observing then begin
-        for i = 0 to !erri - 1 do
-          replay i (d_events.(i).Ibuf.len / 2)
-        done;
-        replay !erri (pos / 2)
-      end;
-      fail_with err
-    end;
-    for i = 0 to k - 1 do
-      msgs_round := !msgs_round + d_msgs.(i);
-      bits_round := !bits_round + d_bits.(i);
-      if d_maxmsg.(i) > !max_msg_bits then max_msg_bits := d_maxmsg.(i);
-      if d_maxburst.(i) > !max_burst then max_burst := d_maxburst.(i);
-      if observing then replay i (d_events.(i).Ibuf.len / 2);
-      let st = d_staged.(i) in
-      for j = 0 to st.Ibuf.len - 1 do
-        let w = st.Ibuf.a.(j) in
-        if not has_mail.(w) then begin
-          has_mail.(w) <- true;
-          staged.(!n_staged) <- w;
-          incr n_staged
-        end
-      done;
-      d_msgs.(i) <- 0;
-      d_bits.(i) <- 0;
-      Ibuf.clear d_staged.(i);
-      Ibuf.clear d_events.(i)
-    done
   in
   let commit_round ~active =
     (match metrics with
@@ -907,33 +877,359 @@ let exec_sharded ~domains ?bandwidth ?max_rounds ?(observe = Observe.none) g
     total_msgs := !total_msgs + !msgs_round;
     total_bits := !total_bits + !bits_round
   in
-  phase := `Init;
-  Barrier.wait bar;
-  shard_init 0;
-  Barrier.wait bar;
-  merge_sends ();
+  let pool = Pool.create ~domains:k () in
+  let shutdown () = Pool.shutdown pool in
+  let fail_with e =
+    shutdown ();
+    raise e
+  in
+  (* Fold one width-1 parallel section (init or a chunked round) back
+     into the global round state; on error, replay only the sequential
+     prefix and re-raise. Chunks are contiguous ascending slices of the
+     visit order, so slot order = sequential order and the lowest erring
+     slot holds the error a sequential sweep would hit first. *)
+  let merge_slots nc =
+    let erri = ref (-1) in
+    for i = nc - 1 downto 0 do
+      if sl_err.(i) <> None then erri := i
+    done;
+    if !erri >= 0 then begin
+      let { pos; err; _ } =
+        match sl_err.(!erri) with Some e -> e | None -> assert false
+      in
+      if observing then begin
+        for i = 0 to !erri - 1 do
+          replay ~tally:false i 0 (sl_events.(i).Ibuf.len / 2)
+        done;
+        replay ~tally:false !erri 0 (pos / 2)
+      end;
+      fail_with err
+    end;
+    for i = 0 to nc - 1 do
+      msgs_round := !msgs_round + sl_msgs.(i);
+      bits_round := !bits_round + sl_bits.(i);
+      if sl_maxmsg.(i) > !max_msg_bits then max_msg_bits := sl_maxmsg.(i);
+      if sl_maxburst.(i) > !max_burst then max_burst := sl_maxburst.(i);
+      if observing then replay ~tally:false i 0 (sl_events.(i).Ibuf.len / 2);
+      let st = sl_staged.(i) in
+      for j = 0 to st.Ibuf.len - 1 do
+        let w = st.Ibuf.a.(j) in
+        if not has_mail.(w) then begin
+          has_mail.(w) <- true;
+          staged.(!n_staged) <- w;
+          incr n_staged
+        end
+      done;
+      sl_msgs.(i) <- 0;
+      sl_bits.(i) <- 0;
+      sl_maxmsg.(i) <- 0;
+      sl_maxburst.(i) <- 0;
+      Ibuf.clear sl_staged.(i);
+      Ibuf.clear sl_events.(i)
+    done
+  in
+  (* One shard's whole epoch: up to [e] fused deliver+compute rounds
+     against dart state no other domain touches (the epoch-legality
+     invariant), logging enough per round for the serial merge to
+     replay. Stops early when the shard's own activity dies out — no
+     other shard can reactivate it mid-epoch. *)
+  let shard_epoch i round_base e =
+    let lrnd = ref round_base in
+    try
+      let a = lower_bound shard_lo.(i) and b = lower_bound shard_lo.(i + 1) in
+      let cur = sh_cur.(i) in
+      Ibuf.clear cur;
+      for idx = a to b - 1 do
+        Ibuf.push cur active_buf.(idx)
+      done;
+      let acount = ref cur.Ibuf.len in
+      let raw = sl_staged.(i) in
+      let dst = sh_dstaged.(i) in
+      let rl = sh_rlog.(i) in
+      let j = ref 0 in
+      while !acount > 0 && !j < e do
+        incr j;
+        let rnd = round_base + !j in
+        lrnd := rnd;
+        (* Deliver to this shard's recipients only: their in-dart ranges
+           were last written by this shard (local rounds) or before the
+           epoch started (the dispatch barrier ordered those writes). *)
+        for idx = 0 to !acount - 1 do
+          let v = cur.Ibuf.a.(idx) in
+          has_mail.(v) <- false;
+          let acc = ref [] in
+          for d = xadj.(v + 1) - 1 downto xadj.(v) do
+            (match box.(d) with
+            | [] -> ()
+            | msgs ->
+                let u = srcs.(d) in
+                List.iter (fun m -> acc := (u, m) :: !acc) msgs;
+                box.(d) <- []);
+            load.(d) <- 0
+          done;
+          inbox.(v) <- !acc
+        done;
+        Ibuf.clear raw;
+        for idx = 0 to !acount - 1 do
+          let v = cur.Ibuf.a.(idx) in
+          let (s, out) = proto.round g v states.(v) inbox.(v) in
+          inbox.(v) <- [];
+          states.(v) <- s;
+          List.iter (send i rnd v) out
+        done;
+        (* Dedup this round's raw (per-dart) stagings into the epoch log
+           in first-touch order — the order the sequential engine stages
+           these same recipients in. *)
+        let dst0 = dst.Ibuf.len in
+        for idx = 0 to raw.Ibuf.len - 1 do
+          let w = raw.Ibuf.a.(idx) in
+          if not has_mail.(w) then begin
+            has_mail.(w) <- true;
+            Ibuf.push dst w
+          end
+        done;
+        Ibuf.push rl sl_msgs.(i);
+        Ibuf.push rl sl_bits.(i);
+        Ibuf.push rl !acount;
+        Ibuf.push rl sl_events.(i).Ibuf.len;
+        Ibuf.push rl dst.Ibuf.len;
+        (* Next round's worklist: this round's staging, sorted. *)
+        Ibuf.clear cur;
+        for idx = dst0 to dst.Ibuf.len - 1 do
+          Ibuf.push cur dst.Ibuf.a.(idx)
+        done;
+        sort_prefix cur.Ibuf.a cur.Ibuf.len;
+        acount := cur.Ibuf.len
+      done
+    with
+    | Stop_shard -> ()
+    | e ->
+        sl_err.(i) <-
+          Some { rnd = !lrnd; pos = sl_events.(i).Ibuf.len; err = e }
+  in
+  (* Serial epoch merge: replay the shards' logs round by round in shard
+     order. Shard order per round = ascending node order = the
+     sequential engine's visit order, because epochs only run when every
+     send stays shard-internal. *)
+  let merge_epoch () =
+    let round_base = !round in
+    let cnt i = sh_rlog.(i).Ibuf.len / 5 in
+    (* Field f of shard i's local round j (1-based); 0 for j = 0. Fields:
+       0 cumulative msgs, 1 cumulative bits, 2 active, 3 event
+       watermark, 4 staging watermark. *)
+    let rl_get i j f =
+      if j = 0 then 0 else sh_rlog.(i).Ibuf.a.((5 * (j - 1)) + f)
+    in
+    (* Earliest error by (absolute round, shard) — the one the
+       sequential sweep would have hit first. *)
+    let err_slot = ref (-1) in
+    let err_rnd = ref max_int in
+    for i = k - 1 downto 0 do
+      match sl_err.(i) with
+      | Some { rnd; _ } when rnd <= !err_rnd ->
+          err_rnd := rnd;
+          err_slot := i
+      | _ -> ()
+    done;
+    let r_full =
+      if !err_slot >= 0 then !err_rnd - round_base - 1
+      else begin
+        let r = ref 0 in
+        for i = 0 to k - 1 do
+          if cnt i > !r then r := cnt i
+        done;
+        !r
+      end
+    in
+    let tally = Option.is_some metrics in
+    for j = 1 to r_full do
+      incr round;
+      let m_j = ref 0 and b_j = ref 0 and a_j = ref 0 in
+      for i = 0 to k - 1 do
+        if cnt i >= j then begin
+          m_j := !m_j + rl_get i j 0 - rl_get i (j - 1) 0;
+          b_j := !b_j + rl_get i j 1 - rl_get i (j - 1) 1;
+          a_j := !a_j + sh_rlog.(i).Ibuf.a.((5 * (j - 1)) + 2);
+          if observing then
+            replay ~tally i (rl_get i (j - 1) 3 / 2) (rl_get i j 3 / 2)
+        end
+      done;
+      (* Burst accounting, exactly the sequential commit: scan the
+         round's staged recipients' in-darts against the replayed
+         per-dart loads, in staging order. *)
+      (match metrics with
+      | Some m ->
+          for i = 0 to k - 1 do
+            if cnt i >= j then begin
+              let dst = sh_dstaged.(i) in
+              for idx = rl_get i (j - 1) 4 to rl_get i j 4 - 1 do
+                let v = dst.Ibuf.a.(idx) in
+                for d = xadj.(v) to xadj.(v + 1) - 1 do
+                  if mload.(d) > 0 then
+                    Metrics.note_round_edge_at m
+                      ~dir:((2 * dedge.(d)) + if srcs.(d) < v then 0 else 1)
+                      ~bits:mload.(d)
+                done
+              done
+            end
+          done;
+          for idx = 0 to mtouch.Ibuf.len - 1 do
+            mload.(mtouch.Ibuf.a.(idx)) <- 0
+          done;
+          Ibuf.clear mtouch;
+          Metrics.record_round m ~round:(base + !round) ~active:!a_j
+            ~messages:!m_j ~bits:!b_j
+      | None -> ());
+      (match trace with
+      | Some tr ->
+          Trace.on_round tr ~round:(base + !round) ~active:!a_j ~messages:!m_j
+            ~bits:!b_j
+      | None -> ());
+      if !a_j > !active_peak then active_peak := !a_j;
+      total_msgs := !total_msgs + !m_j;
+      total_bits := !total_bits + !b_j;
+      msgs_round := !m_j;
+      bits_round := !b_j
+    done;
+    if !err_slot >= 0 then begin
+      (* The failing round: shards below the erring one completed it (a
+         same-round error in a lower shard would have been selected), so
+         their events replay in full; the erring shard replays up to the
+         error; higher shards never ran sequentially. No round record —
+         the sequential engine raises before its commit. *)
+      let slot = !err_slot in
+      let jl = !err_rnd - round_base in
+      let { pos; err; _ } =
+        match sl_err.(slot) with Some e -> e | None -> assert false
+      in
+      incr round;
+      if observing then begin
+        for i = 0 to slot - 1 do
+          if cnt i >= jl then
+            replay ~tally:false i (rl_get i (jl - 1) 3 / 2) (rl_get i jl 3 / 2)
+        done;
+        replay ~tally:false slot (rl_get slot (jl - 1) 3 / 2) (pos / 2)
+      end;
+      fail_with err
+    end;
+    (* Pending work for the next global iteration: each shard's final
+       staging slice — already deduped, [has_mail] already set. Shards
+       that died out mid-epoch contribute an empty slice. *)
+    n_staged := 0;
+    for i = 0 to k - 1 do
+      let c = cnt i in
+      if c > 0 then begin
+        let dst = sh_dstaged.(i) in
+        for idx = rl_get i (c - 1) 4 to rl_get i c 4 - 1 do
+          staged.(!n_staged) <- dst.Ibuf.a.(idx);
+          incr n_staged
+        done
+      end
+    done;
+    for i = 0 to k - 1 do
+      if sl_maxmsg.(i) > !max_msg_bits then max_msg_bits := sl_maxmsg.(i);
+      if sl_maxburst.(i) > !max_burst then max_burst := sl_maxburst.(i);
+      sl_msgs.(i) <- 0;
+      sl_bits.(i) <- 0;
+      sl_maxmsg.(i) <- 0;
+      sl_maxburst.(i) <- 0;
+      Ibuf.clear sl_staged.(i);
+      Ibuf.clear sl_events.(i);
+      Ibuf.clear sh_dstaged.(i);
+      Ibuf.clear sh_rlog.(i);
+      Ibuf.clear sh_cur.(i)
+    done
+  in
+  (* Init: chunked over contiguous node ranges (sends may cross shards
+     here, so this is a width-1 section with the standard merge). *)
+  let nc_init = max 1 (min nslots n) in
+  Pool.run pool ~tasks:nc_init (fun c ->
+      let lo = c * n / nc_init and hi = (c + 1) * n / nc_init in
+      try
+        for v = lo to hi - 1 do
+          let (s, out) = proto.init g v in
+          states.(v) <- s;
+          List.iter (send c 0 v) out
+        done
+      with
+      | Stop_shard -> ()
+      | e -> sl_err.(c) <- Some { rnd = 0; pos = sl_events.(c).Ibuf.len; err = e });
+  merge_slots nc_init;
   if !msgs_round > 0 then commit_round ~active:n;
   while !n_staged > 0 do
     if !round >= max_rounds then
       fail_with
         (No_quiescence
            { round = !round; active = !n_staged; messages = !msgs_round });
-    incr round;
     let kact = !n_staged in
     Array.blit staged 0 active_buf 0 kact;
     sort_prefix active_buf kact;
     n_active := kact;
     n_staged := 0;
+    (* Epoch width: the least frontier distance over the active set,
+       clamped by the configured maximum and the round budget. Width 1
+       is chunk mode. *)
+    let e =
+      if epoch_max <= 1 then 1
+      else begin
+        let m = ref max_int in
+        let i = ref 0 in
+        while !i < kact && !m > 1 do
+          let dv = dist.(active_buf.(!i)) in
+          if dv < !m then m := dv;
+          incr i
+        done;
+        max 1 (min (min !m epoch_max) (max_rounds - !round))
+      end
+    in
     msgs_round := 0;
     bits_round := 0;
-    phase := `Step;
-    Barrier.wait bar;
-    shard_deliver 0;
-    Barrier.wait bar;
-    shard_compute 0;
-    Barrier.wait bar;
-    merge_sends ();
-    commit_round ~active:kact
+    if e <= 1 then begin
+      incr round;
+      let rnd = !round in
+      let nc = min nslots kact in
+      Pool.run pool ~tasks:nc (fun c ->
+          let lo = c * kact / nc and hi = (c + 1) * kact / nc in
+          try
+            for idx = lo to hi - 1 do
+              let v = active_buf.(idx) in
+              has_mail.(v) <- false;
+              let acc = ref [] in
+              for d = xadj.(v + 1) - 1 downto xadj.(v) do
+                (match box.(d) with
+                | [] -> ()
+                | msgs ->
+                    let u = srcs.(d) in
+                    List.iter (fun m -> acc := (u, m) :: !acc) msgs;
+                    box.(d) <- []);
+                load.(d) <- 0
+              done;
+              inbox.(v) <- !acc
+            done
+          with e ->
+            sl_err.(c) <- Some { rnd; pos = sl_events.(c).Ibuf.len; err = e });
+      Pool.run pool ~tasks:nc (fun c ->
+          let lo = c * kact / nc and hi = (c + 1) * kact / nc in
+          try
+            for idx = lo to hi - 1 do
+              let v = active_buf.(idx) in
+              let (s, out) = proto.round g v states.(v) inbox.(v) in
+              inbox.(v) <- [];
+              states.(v) <- s;
+              List.iter (send c rnd v) out
+            done
+          with
+          | Stop_shard -> ()
+          | e ->
+              sl_err.(c) <- Some { rnd; pos = sl_events.(c).Ibuf.len; err = e });
+      merge_slots nc;
+      commit_round ~active:kact
+    end
+    else begin
+      let round_base = !round in
+      Pool.run pool ~tasks:k (fun i -> shard_epoch i round_base e);
+      merge_epoch ()
+    end
   done;
   shutdown ();
   (match metrics with Some m -> Metrics.add_rounds m !round | None -> ());
@@ -961,15 +1257,21 @@ let exec_sharded ~domains ?bandwidth ?max_rounds ?(observe = Observe.none) g
 
 (* One entry point, three engines: the clean flat-array loop whenever no
    fault plan is installed and one domain suffices — kept bit-identical
-   to the pre-fault engine and allocation-free per round — the sharded
-   BSP loop when [domains > 1] (bit-identical to the clean loop by
-   construction), and the clocked fault-aware loop when a plan is. A
-   fault plan and [domains > 1] are mutually exclusive: the clocked
-   engine draws every fault decision from one seeded stream in
-   engine-visit order, which a sharded visit order would scramble. *)
-let exec ?(domains = 1) ?bandwidth ?max_rounds ?observe ?faults g proto =
-  if domains < 1 then
-    invalid_arg "Network.exec: domains must be at least 1";
+   to the pre-fault engine and allocation-free per round — the
+   epoch-batched work-stealing loop when [domains > 1] (bit-identical to
+   the clean loop by construction), and the clocked fault-aware loop
+   when a plan is installed. A fault plan and [domains > 1] are mutually
+   exclusive: the clocked engine draws every fault decision from one
+   seeded stream in engine-visit order, which a sharded visit order
+   would scramble. [epoch]/[steal] only shape the parallel engine's
+   schedule — with one domain (or a fault plan) they are ignored. *)
+let exec ?(config = Config.default) g proto =
+  let { Config.domains; epoch; steal; bandwidth; max_rounds; observe; faults } =
+    config
+  in
+  if domains < 1 then invalid_arg "Network.exec: domains must be at least 1";
+  if epoch < 1 then invalid_arg "Network.exec: epoch must be at least 1";
+  if steal < 1 then invalid_arg "Network.exec: steal must be at least 1";
   match faults with
   | Some plan ->
       if domains > 1 then
@@ -977,16 +1279,33 @@ let exec ?(domains = 1) ?bandwidth ?max_rounds ?observe ?faults g proto =
           "Network.exec: a fault plan requires domains = 1 — the clocked \
            fault-aware engine is sequential (its seeded fault stream is \
            consumed in engine-visit order)";
-      exec_faulty ~plan ?bandwidth ?max_rounds ?observe g proto
+      exec_faulty ~plan ?bandwidth ?max_rounds ~observe g proto
   | None ->
       let k = min domains (Gr.n g) in
-      if k <= 1 then exec_clean ?bandwidth ?max_rounds ?observe g proto
-      else exec_sharded ~domains:k ?bandwidth ?max_rounds ?observe g proto
+      if k <= 1 then exec_clean ?bandwidth ?max_rounds ~observe g proto
+      else
+        exec_parallel ~domains:k ~epoch ~steal ?bandwidth ?max_rounds ~observe
+          g proto
 
+(* The pre-redesign labelled signature, now a thin shim over [Config]:
+   call sites that have not migrated keep compiling with one rename. *)
+let exec_opts ?(domains = 1) ?bandwidth ?max_rounds ?(observe = Observe.none)
+    ?faults g proto =
+  exec
+    ~config:
+      {
+        Config.default with
+        domains;
+        bandwidth;
+        max_rounds;
+        observe;
+        faults;
+      }
+    g proto
 
 (* The pre-redesign engine, kept verbatim as the deprecated shim: the
-   differential tests and bench/engine.ml run it side by side with
-   [exec] to pin the new engine to the old semantics bit for bit. *)
+   differential tests run it side by side with [exec] to pin the new
+   engine to the old semantics bit for bit. *)
 let run ?bandwidth ?max_rounds ?metrics ?trace g proto =
   let n = Gr.n g in
   let bandwidth = match bandwidth with Some b -> b | None -> default_bandwidth g in

@@ -16,11 +16,11 @@
     The entry point is {!exec}: a flat-array engine over the graph's dart
     tables ({!Gr.dart_offsets}) whose round loop allocates nothing beyond
     the message lists the protocol interface requires, and whose per-round
-    cost is [O(active + messages)] rather than [O(n)]. Observation —
-    metrics, tracing, bound checking — is requested through one
-    {!Observe.t} sink. The pre-redesign {!run} remains as a deprecated
-    shim with the old per-round-hashtable implementation; it exists so the
-    differential tests can pin [exec] to the historical semantics. *)
+    cost is [O(active + messages)] rather than [O(n)]. Every knob — domain
+    count, epoch width, bandwidth, observation sinks, fault plan — travels
+    in one {!Config.t} value. The pre-redesign {!run} remains as a
+    deprecated shim; its sole remaining purpose is to serve as the
+    {e differential oracle} in [test/test_engine_diff.ml]. *)
 
 type ('s, 'm) protocol = {
   init : Gr.t -> int -> 's * (int * 'm) list;
@@ -76,7 +76,107 @@ type 's run_result = { states : 's array; rounds : int; report : report }
 (** What {!exec} returns: every node's final state, the number of rounds
     executed, and the engine's {!report}. *)
 
-val exec :
+(** The run configuration. One value carries every engine knob, so call
+    sites build it once — [Config.default |> Config.with_domains 4] —
+    and thread it through {!Proto}, {!Embedder} and {!Certify} instead
+    of re-threading five optional labels per layer. *)
+module Config : sig
+  type t = {
+    domains : int;  (** domains executing the round loop (default 1). *)
+    epoch : int;
+        (** maximum rounds a shard may advance between barriers when the
+            active set is provably shard-internal (default 8); [1]
+            disables epoch batching. Ignored at [domains = 1]. *)
+    steal : int;
+        (** work-stealing granularity: width-1 rounds split the active
+            list into up to [domains * steal] chunks claimed dynamically
+            (default 4). Ignored at [domains = 1]. *)
+    bandwidth : int option;  (** per-edge bits per round; default
+            {!default_bandwidth}. *)
+    max_rounds : int option;  (** livelock guard; default [16n + 64]. *)
+    observe : Observe.t;  (** observation sinks (default {!Observe.none}). *)
+    faults : Fault.plan option;  (** fault plan; requires [domains = 1]. *)
+  }
+
+  val default : t
+  (** Sequential, unobserved, fault-free: [domains = 1], [epoch = 8],
+      [steal = 4], default bandwidth and round guard. *)
+
+  val with_domains : int -> t -> t
+  val with_epoch : int -> t -> t
+  val with_steal : int -> t -> t
+  val with_bandwidth : int -> t -> t
+  val with_max_rounds : int -> t -> t
+  val with_observe : Observe.t -> t -> t
+  val with_faults : Fault.plan -> t -> t
+
+  val make :
+    ?domains:int ->
+    ?bandwidth:int ->
+    ?max_rounds:int ->
+    ?observe:Observe.t ->
+    ?faults:Fault.plan ->
+    ?epoch:int ->
+    ?steal:int ->
+    unit ->
+    t
+  (** Labelled constructor, for call sites migrating from the old
+      optional-argument style: unspecified fields are {!default}'s. *)
+end
+
+val exec : ?config:Config.t -> Gr.t -> ('s, 'm) protocol -> 's run_result
+(** Run to quiescence under [config] (default {!Config.default}). The
+    final states, the executed round count and the {!report} come back
+    together; everything else — a metrics accumulator, a trace journal,
+    a bounds verdict — is requested via the config's [observe] sink.
+    Successive runs on the same metrics sink continue one round
+    timeline: this run's round numbers are offset by [Metrics.rounds]
+    at entry.
+
+    With no fault plan installed (the default) and one domain, the run
+    executes on the clean flat-array loop — bit-identical to the
+    pre-fault engine, allocation-free per round, delivery order exactly
+    as documented on {!type:protocol}. Installing a {!Fault.plan}
+    switches the run to the fault-aware {e clocked} loop: messages are
+    dropped, duplicated, reordered or delayed and nodes crash and
+    restart as the plan dictates; every live node then takes a step
+    {e every} round (with an empty inbox when nothing arrived), which is
+    the clock timeout-driven recovery layers such as {!Reliable} run on,
+    and the run ends only after the plan's grace period of consecutive
+    quiet rounds. Fault events are counted into the metrics sink
+    ({!Metrics.faults}) and recorded on the trace timeline
+    ({!Trace.on_fault}). Same plan spec + same seed ⇒ identical run.
+    DESIGN.md §9 specifies the fault model precisely.
+
+    [domains > 1] runs the epoch-batched work-stealing engine: the node
+    range splits into contiguous shards; width-1 rounds spread the
+    {e active list} over up to [domains * steal] dynamically-claimed
+    chunks, and when every active node is at least [e >= 2] hops from a
+    shard boundary the shards advance [e] rounds between barriers
+    (capped by [epoch]), merging deterministically afterwards. The
+    result — states, rounds, report, and the full metrics/trace
+    timelines — is {b bit-identical} to the sequential engine for every
+    (domains, epoch, steal), including which error is raised and what
+    the sinks saw before it; the differential suite pins this across
+    domain counts and epoch widths. Two restrictions come with
+    [domains > 1]: the protocol's [init] and [round] closures must be
+    pure up to their returned values (they run concurrently for
+    different nodes, and [init g 0] is called one extra time to seed
+    internal storage), and a {!Fault.plan} may not be combined with it —
+    the clocked fault engine draws its seeded fault stream in
+    engine-visit order, which sharding would scramble, so [exec] raises
+    [Invalid_argument] rather than silently degrading. A fault plan
+    {e with} [domains = 1] is always legal; [epoch]/[steal] are simply
+    ignored on the clocked (and plain sequential) engines. DESIGN.md
+    §10 and §13 specify the parallel engine and the epoch scheduler.
+    @raise Bandwidth_exceeded when a node over-sends on an edge.
+    @raise No_quiescence if [max_rounds] elapse without quiescence — a
+    livelock guard for buggy protocols.
+    @raise Invalid_argument if a node addresses a non-neighbor, if
+    [domains], [epoch] or [steal] is [< 1], or if a fault plan is
+    combined with [domains > 1]. *)
+
+val exec_opts :
   ?domains:int ->
   ?bandwidth:int ->
   ?max_rounds:int ->
@@ -85,48 +185,14 @@ val exec :
   Gr.t ->
   ('s, 'm) protocol ->
   's run_result
-(** Run to quiescence. The final states, the executed round count and
-    the {!report} come back together; everything else — a metrics
-    accumulator, a trace journal, a bounds verdict — is requested via
-    [observe] (default {!Observe.none}). Successive runs on the same
-    metrics sink continue one round timeline: this run's round numbers
-    are offset by [Metrics.rounds] at entry.
-
-    With no [faults] plan installed (the default) the run executes on
-    the clean flat-array loop — bit-identical to the pre-fault engine,
-    allocation-free per round, delivery order exactly as documented on
-    {!type:protocol}. Installing a {!Fault.plan} switches the run to the
-    fault-aware {e clocked} loop: messages are dropped, duplicated,
-    reordered or delayed and nodes crash and restart as the plan
-    dictates; every live node then takes a step {e every} round (with an
-    empty inbox when nothing arrived), which is the clock
-    timeout-driven recovery layers such as {!Reliable} run on, and the
-    run ends only after the plan's grace period of consecutive quiet
-    rounds. Fault events are counted into the metrics sink
-    ({!Metrics.faults}) and recorded on the trace timeline
-    ({!Trace.on_fault}). Same plan spec + same seed ⇒ identical run.
-    DESIGN.md §9 specifies the fault model precisely.
-
-    [domains] (default [1]) shards the round loop across that many OCaml
-    domains: the node range splits into contiguous shards, one domain
-    each, with a deterministic exchange at the round barrier. The result
-    — states, rounds, report, and the full metrics/trace timelines — is
-    {b bit-identical} to the sequential engine for every shard count
-    (the differential suite pins this for shard counts 1, 2, 3 and 7),
-    including which error is raised and what the sinks saw before it.
-    Two restrictions come with [domains > 1]: the protocol's [init] and
-    [round] closures must be pure up to their returned values (they run
-    concurrently for different nodes, and [init g 0] is called one extra
-    time to seed internal storage), and a {!Fault.plan} may not be
-    combined with it — the clocked fault engine draws its seeded fault
-    stream in engine-visit order, which sharding would scramble, so
-    [exec] raises [Invalid_argument] rather than silently degrading.
-    DESIGN.md §10 specifies the sharded engine.
-    @raise Bandwidth_exceeded when a node over-sends on an edge.
-    @raise No_quiescence if [max_rounds] (default [16 * n + 64]) elapse
-    without quiescence — a livelock guard for buggy protocols.
-    @raise Invalid_argument if a node addresses a non-neighbor, if
-    [domains < 1], or if [faults] is combined with [domains > 1]. *)
+  [@@alert
+    legacy
+      "exec_opts is the pre-Config labelled signature; build a \
+       Network.Config.t and call Network.exec ~config instead."]
+(** The pre-{!Config} labelled signature, as a thin shim over {!exec}:
+    equivalent to [exec ~config:(Config.make ...ARGS... ())]. Kept so
+    historical call sites compile with a one-token rename; new code
+    should build a {!Config.t}. *)
 
 val run :
   ?bandwidth:int ->
@@ -138,14 +204,18 @@ val run :
   's array
   [@@alert
     legacy
-      "Network.run is the pre-redesign engine kept for differential \
-       testing; use Network.exec, which returns a run_result and takes an \
-       Observe.t sink."]
+      "Network.run is the pre-redesign engine kept solely as the \
+       differential oracle for test_engine_diff; use Network.exec."]
 (** The pre-redesign entry point, semantics preserved exactly (including
     its per-round hashtable implementation): returns bare final states,
     takes separate [?metrics]/[?trace] sinks, and signals a livelock by
-    [Failure] rather than {!No_quiescence}. Kept only so tests and
-    benchmarks can run old and new engines side by side.
+    [Failure] rather than {!No_quiescence}.
+
+    {b This shim exists solely as the differential oracle}: the
+    engine-diff suite ([test/test_engine_diff.ml]) runs it side by side
+    with {!exec} to pin the flat-array and parallel engines to the
+    historical semantics bit for bit. It has no other callers, and new
+    code must not add any.
     @raise Bandwidth_exceeded when a node over-sends on an edge.
     @raise Failure if [max_rounds] (default [16 * n + 64]) elapse without
     quiescence. *)

@@ -6,22 +6,23 @@ let word_of g =
   bits_needed (n - 1) 1
 
 
-(* Protocol entry points run clean by default; installing a fault plan
-   routes them through the reliable link layer over the fault-aware
+(* Protocol entry points run clean by default; a config with a fault
+   plan routes them through the reliable link layer over the fault-aware
    engine, so each primitive survives lossy links unmodified. *)
-let exec_net ?domains ?bandwidth ?observe ?faults g proto =
-  match faults with
-  | None -> Network.exec ?domains ?bandwidth ?observe g proto
+let exec_net ?(config = Network.Config.default) g proto =
+  match config.Network.Config.faults with
+  | None -> Network.exec ~config g proto
   | Some plan ->
-      (match domains with
-      | Some k when k > 1 ->
-          invalid_arg
-            "Proto: a fault plan requires domains = 1 — reliable delivery \
-             runs on the sequential clocked engine"
-      | _ -> ());
-      Reliable.exec ?bandwidth ?observe ~faults:plan g proto
+      if config.Network.Config.domains > 1 then
+        invalid_arg
+          "Proto: a fault plan requires domains = 1 — reliable delivery \
+           runs on the sequential clocked engine";
+      Reliable.exec
+        ?bandwidth:config.Network.Config.bandwidth
+        ?max_rounds:config.Network.Config.max_rounds
+        ~observe:config.Network.Config.observe ~faults:plan g proto
 
-let leader_bfs ?domains ?observe ?bandwidth ?faults g =
+let leader_bfs ?config g =
   if Gr.n g = 0 then invalid_arg "Proto.leader_bfs: empty network";
   let word = word_of g in
   let announce g v st =
@@ -50,7 +51,7 @@ let leader_bfs ?domains ?observe ?bandwidth ?faults g =
       msg_bits = (fun (_root, _d) -> 2 * word);
     }
   in
-  (exec_net ?domains ?bandwidth ?observe ?faults g proto).Network.states
+  (exec_net ?config g proto).Network.states
 
 (* Convergecast over an explicitly given tree. Each node knows its child
    count (in a real network, children identify themselves during the BFS
@@ -65,8 +66,7 @@ let children_counts n parent root =
     parent;
   cnt
 
-let convergecast ?domains ?observe ?bandwidth ?faults g ~parent ~root ~values ~op
-    ~value_bits =
+let convergecast ?config g ~parent ~root ~values ~op ~value_bits =
   let n = Gr.n g in
   if Array.length parent <> n || Array.length values <> n then
     invalid_arg "Proto.convergecast: bad arrays";
@@ -95,10 +95,10 @@ let convergecast ?domains ?observe ?bandwidth ?faults g ~parent ~root ~values ~o
       msg_bits = (fun _ -> value_bits);
     }
   in
-  let r = exec_net ?domains ?bandwidth ?observe ?faults g proto in
+  let r = exec_net ?config g proto in
   r.Network.states.(root).acc
 
-let subtree_sizes ?domains ?observe ?bandwidth ?faults g ~parent ~root =
+let subtree_sizes ?config g ~parent ~root =
   let n = Gr.n g in
   if Array.length parent <> n then invalid_arg "Proto.subtree_sizes: bad parent";
   let word = word_of g in
@@ -127,11 +127,10 @@ let subtree_sizes ?domains ?observe ?bandwidth ?faults g ~parent ~root =
       msg_bits = (fun _ -> word);
     }
   in
-  let r = exec_net ?domains ?bandwidth ?observe ?faults g proto in
+  let r = exec_net ?config g proto in
   Array.map (fun st -> st.acc) r.Network.states
 
-let broadcast ?domains ?observe ?bandwidth ?faults g ~parent ~root ~value
-    ~value_bits =
+let broadcast ?config g ~parent ~root ~value ~value_bits =
   let n = Gr.n g in
   if Array.length parent <> n then invalid_arg "Proto.broadcast: bad parent";
   let kids = Array.make n [] in
@@ -152,7 +151,7 @@ let broadcast ?domains ?observe ?bandwidth ?faults g ~parent ~root ~value
       msg_bits = (fun _ -> value_bits);
     }
   in
-  let r = exec_net ?domains ?bandwidth ?observe ?faults g proto in
+  let r = exec_net ?config g proto in
   Array.map
     (function Some x -> x | None -> invalid_arg "Proto.broadcast: unreached node")
     r.Network.states

@@ -6,24 +6,21 @@
     aggregate values (e.g. the node count [n]) over it. Each is checked
     against its centralized counterpart in the test suite.
 
-    All entry points run on {!Network.exec} and accept one unified
-    [?observe] sink ({!Observe.t}): pass [Observe.of_metrics m] /
-    [Observe.of_trace tr] / [Observe.make ~metrics ~trace ()] where the
-    pre-redesign API took separate [?metrics] and [?trace] arguments.
+    All entry points take one [?config] ({!Network.Config.t}, default
+    {!Network.Config.default}) carrying every engine knob — observation
+    sinks, bandwidth, domain count, epoch width, fault plan — and
+    forward it to {!Network.exec}. Build it with the [with_*] pipeline
+    or [Network.Config.make].
 
-    Each also accepts a [?faults] plan ({!Fault.plan}): when one is
-    installed the protocol runs {!Reliable}-wrapped on the fault-aware
-    engine, so the primitive computes the same result over lossy,
-    reordering, crash-restarting links — at the price of acknowledgement
-    traffic, retransmission rounds and the plan's quiescence grace
-    period. Without a plan, execution is the clean engine, bit-identical
-    to the pre-fault behavior.
-
-    Each also accepts [?domains] (default [1]), forwarded to
-    {!Network.exec}: the round loop shards across that many OCaml
-    domains with bit-identical results. As at the engine level,
-    [domains > 1] cannot be combined with a fault plan —
-    [Invalid_argument] is raised rather than silently degrading. *)
+    A config with a fault plan runs the protocol {!Reliable}-wrapped on
+    the fault-aware engine, so the primitive computes the same result
+    over lossy, reordering, crash-restarting links — at the price of
+    acknowledgement traffic, retransmission rounds and the plan's
+    quiescence grace period. Without a plan, execution is the clean (or,
+    at [domains > 1], the parallel) engine, bit-identical to the
+    sequential behavior. As at the engine level, [domains > 1] cannot
+    be combined with a fault plan — [Invalid_argument] is raised rather
+    than silently degrading. *)
 
 type bfs_state = {
   leader : int;  (** maximum id in the network. *)
@@ -32,22 +29,13 @@ type bfs_state = {
 }
 (** What every node knows when {!leader_bfs} quiesces. *)
 
-val leader_bfs :
-  ?domains:int ->
-  ?observe:Observe.t ->
-  ?bandwidth:int ->
-  ?faults:Fault.plan ->
-  Gr.t ->
-  bfs_state array
+val leader_bfs : ?config:Network.Config.t -> Gr.t -> bfs_state array
 (** Flood the maximum id while relaxing distances: quiesces in [O(D)]
     rounds with every node knowing the leader, its BFS distance and a BFS
     parent. The network must be connected and non-empty. *)
 
 val convergecast :
-  ?domains:int ->
-  ?observe:Observe.t ->
-  ?bandwidth:int ->
-  ?faults:Fault.plan ->
+  ?config:Network.Config.t ->
   Gr.t ->
   parent:int array ->
   root:int ->
@@ -60,10 +48,7 @@ val convergecast :
     returns the root's total after [depth] rounds. *)
 
 val subtree_sizes :
-  ?domains:int ->
-  ?observe:Observe.t ->
-  ?bandwidth:int ->
-  ?faults:Fault.plan ->
+  ?config:Network.Config.t ->
   Gr.t ->
   parent:int array ->
   root:int ->
@@ -73,10 +58,7 @@ val subtree_sizes :
     which each node retains its accumulated count. Takes [depth] rounds. *)
 
 val broadcast :
-  ?domains:int ->
-  ?observe:Observe.t ->
-  ?bandwidth:int ->
-  ?faults:Fault.plan ->
+  ?config:Network.Config.t ->
   Gr.t ->
   parent:int array ->
   root:int ->

@@ -202,11 +202,12 @@ let exec ?bandwidth ?max_rounds ?observe ?faults ?timeout ?stats g p =
     match bandwidth with Some b -> b | None -> Network.default_bandwidth g
   in
   let wrapped = wrap ?timeout ?stats p in
-  let r =
-    Network.exec
+  let config =
+    Network.Config.make
       ~bandwidth:((3 * base) + 128)
-      ?max_rounds ?observe ?faults g wrapped
+      ?max_rounds ?observe ?faults ()
   in
+  let r = Network.exec ~config g wrapped in
   {
     Network.states = Array.map inner_state r.Network.states;
     rounds = r.Network.rounds;

@@ -21,7 +21,12 @@ let run ?bandwidth g =
     match bandwidth with Some b -> b | None -> Network.default_bandwidth g
   in
   let r0 = Metrics.rounds metrics in
-  let states = Proto.leader_bfs ~observe:(Observe.of_metrics metrics) ~bandwidth g in
+  let states =
+    Proto.leader_bfs
+      ~config:
+        (Network.Config.make ~observe:(Observe.of_metrics metrics) ~bandwidth ())
+      g
+  in
   Metrics.phase metrics "leader-election+bfs" (Metrics.rounds metrics - r0);
   let leader = states.(0).Proto.leader in
   let parent = Array.map (fun s -> s.Proto.parent) states in

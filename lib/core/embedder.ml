@@ -45,8 +45,8 @@ let branch_max_map cost f xs =
     (List.map (fun x () -> out := (x, f x) :: !out) xs);
   List.map (fun x -> List.assq x !out) xs
 
-let run ?domains ?bandwidth ?(mode = Part.Faithful) ?(checks = false)
-    ?base_size ?(observe = Observe.none) ?faults g =
+let run ?(config = Network.Config.default) ?(mode = Part.Faithful)
+    ?(checks = false) ?base_size g =
   if Gr.n g = 0 then invalid_arg "Embedder.run: empty network";
   if not (Traverse.is_connected g) then
     invalid_arg "Embedder.run: the network must be connected";
@@ -54,13 +54,25 @@ let run ?domains ?bandwidth ?(mode = Part.Faithful) ?(checks = false)
      runs and the cost model, then checks bounds post-hoc — so it adopts
      the observer's metrics sink (or makes its own) and forwards only the
      sinks, never a per-run bounds request, to the protocols below. *)
+  let observe = config.Network.Config.observe in
   let metrics =
     match Observe.metrics observe with Some m -> m | None -> Metrics.create g
   in
   let trace = Observe.trace observe in
   let sinks = Observe.make ~metrics ?trace () in
   let bandwidth =
-    match bandwidth with Some b -> b | None -> Network.default_bandwidth g
+    match config.Network.Config.bandwidth with
+    | Some b -> b
+    | None -> Network.default_bandwidth g
+  in
+  (* The per-protocol config: same engine knobs, the embedder's own
+     sinks, the resolved bandwidth. *)
+  let pconfig =
+    {
+      config with
+      Network.Config.observe = sinks;
+      bandwidth = Some bandwidth;
+    }
   in
   let round_clock () = Metrics.rounds metrics in
   (* Phase 1 (real protocols): leader election + BFS tree, then computing
@@ -68,7 +80,7 @@ let run ?domains ?bandwidth ?(mode = Part.Faithful) ?(checks = false)
   let r0 = Metrics.rounds metrics in
   let states =
     Trace.with_span trace "leader-election+bfs" ~clock:round_clock (fun () ->
-        Proto.leader_bfs ?domains ~observe:sinks ?faults g ~bandwidth)
+        Proto.leader_bfs ~config:pconfig g)
   in
   Metrics.phase metrics "leader-election+bfs" (Metrics.rounds metrics - r0);
   let bt = tree_of_states g states in
@@ -79,7 +91,7 @@ let run ?domains ?bandwidth ?(mode = Part.Faithful) ?(checks = false)
     Trace.with_span trace "count-n" ~clock:round_clock (fun () ->
         if Gr.n g = 1 then 1
         else
-          Proto.convergecast ?domains ~observe:sinks ?faults g ~bandwidth
+          Proto.convergecast ~config:pconfig g
             ~parent:bt.Traverse.parent ~root:leader
             ~values:(Array.make (Gr.n g) 1)
             ~op:( + ) ~value_bits:word)

@@ -48,25 +48,24 @@ type outcome = {
 }
 
 val run :
-  ?domains:int ->
-  ?bandwidth:int ->
+  ?config:Network.Config.t ->
   ?mode:Part.mode ->
   ?checks:bool ->
   ?base_size:int ->
-  ?observe:Observe.t ->
-  ?faults:Fault.plan ->
   Gr.t ->
   outcome
 (** @raise Invalid_argument on an empty or disconnected network.
     [mode] defaults to [Faithful]; [checks] (default off) validates every
     merge against the safety invariants.
 
-    [domains] (default [1]) is forwarded to the phase-1 protocol runs
-    ({!Network.exec}'s sharded round loop): results and the whole
-    observation timeline are bit-identical for any value. Incompatible
-    with a [faults] plan, as at the engine level.
+    Every engine knob rides in [config] ({!Network.Config.t}, default
+    {!Network.Config.default}) and is forwarded to the phase-1 protocol
+    runs ({!Network.exec}'s sharded round loop): results and the whole
+    observation timeline are bit-identical for any [domains]/[epoch]
+    value. A config bandwidth of [None] resolves to
+    {!Network.default_bandwidth}.
 
-    Installing a [faults] plan ({!Fault.plan}) subjects the run's real
+    A fault plan in the config ({!Fault.plan}) subjects the run's real
     message-passing — the phase-1 leader election, BFS construction and
     convergecast — to the plan's drops, duplicates, reordering, delays
     and crash-restarts, with the protocols {!Reliable}-wrapped so the
@@ -74,13 +73,14 @@ val run :
     orchestrated, not message-passing, and proceed unchanged. Rounds and
     fault events land on the same metrics/trace timeline as the clean
     run ([distplanar chaos] is the command-line front end; DESIGN.md §9
-    specifies the model).
+    specifies the model). Incompatible with [domains > 1], as at the
+    engine level.
 
-    Observation goes through the one [observe] sink: a metrics sink
-    there becomes the run's accounting (and is returned in the report;
-    otherwise the embedder creates its own), and a trace sink makes the
-    run decompose into named spans on one round timeline: the phase-1
-    protocols (per-round events from the simulator), one
+    Observation goes through the config's one [observe] sink: a metrics
+    sink there becomes the run's accounting (and is returned in the
+    report; otherwise the embedder creates its own), and a trace sink
+    makes the run decompose into named spans on one round timeline: the
+    phase-1 protocols (per-round events from the simulator), one
     [recurse.d<level>] span per recursion call, and one [schedule.merge]
     span per merge schedule, with part/survivor counts as span
     attributes. A bounds request inside [observe] is ignored — the

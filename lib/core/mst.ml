@@ -32,7 +32,12 @@ let run ?bandwidth ~weight g =
   in
   (* Preliminaries: real leader election + BFS (nodes learn n, ids). *)
   let r0 = Metrics.rounds metrics in
-  let _states = Proto.leader_bfs ~observe:(Observe.of_metrics metrics) ~bandwidth g in
+  let _states =
+    Proto.leader_bfs
+      ~config:
+        (Network.Config.make ~observe:(Observe.of_metrics metrics) ~bandwidth ())
+      g
+  in
   Metrics.phase metrics "leader-election+bfs" (Metrics.rounds metrics - r0);
   let cost = Costmodel.create ~bandwidth g metrics in
   let word = Part.word g in

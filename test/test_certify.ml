@@ -54,7 +54,9 @@ let test_clean_families_accept () =
       let certs = Certify.prove r in
       List.iter
         (fun domains ->
-          let o = Certify.verify ~domains r certs in
+          let o =
+            Certify.verify ~config:(Network.Config.make ~domains ()) r certs
+          in
           check_bool
             (Printf.sprintf "%s accepts (domains=%d)" name domains)
             true o.Certify.all_accept;
@@ -113,7 +115,10 @@ let test_observability () =
   let m = Metrics.create g in
   let tr = Trace.create () in
   let o =
-    Certify.verify ~observe:(Observe.make ~metrics:m ~trace:tr ()) r certs
+    Certify.verify
+      ~config:
+        (Network.Config.make ~observe:(Observe.make ~metrics:m ~trace:tr ()) ())
+      r certs
   in
   check_bool "accepts" true o.Certify.all_accept;
   check_bool "bits on the wire counted" true (Metrics.total_bits m > 0);
@@ -487,8 +492,16 @@ let test_verdict_survives_loss () =
         let r = embed_exn g in
         let certs = certs_of r in
         let clean = Certify.verify r certs in
-        let zero = Certify.verify ~faults:(lossy 0.0) r certs in
-        let noisy = Certify.verify ~faults:(lossy 0.05) r certs in
+        let zero =
+          Certify.verify
+            ~config:(Network.Config.make ~faults:(lossy 0.0) ())
+            r certs
+        in
+        let noisy =
+          Certify.verify
+            ~config:(Network.Config.make ~faults:(lossy 0.05) ())
+            r certs
+        in
         check_bool (name ^ ": zero-rate accept map") true
           (clean.Certify.accept = zero.Certify.accept);
         check_bool (name ^ ": lossy accept map") true
@@ -510,7 +523,10 @@ let test_faults_exclude_domains () =
   let certs = Certify.prove r in
   check_bool "raises" true
     (try
-       ignore (Certify.verify ~domains:4 ~faults:(lossy 0.05) r certs);
+       ignore
+         (Certify.verify
+            ~config:(Network.Config.make ~domains:4 ~faults:(lossy 0.05) ())
+            r certs);
        false
      with Invalid_argument _ -> true)
 

@@ -4,6 +4,9 @@
 
 let check = Alcotest.(check int)
 
+(* Engine knobs ride in a Network.Config.t; this keeps the bodies short. *)
+let cfg = Network.Config.make
+
 (* ------------------------------------------------------------------ *)
 (* Network engine                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -21,7 +24,11 @@ let hello_proto bits =
 let test_quiescence () =
   let g = Gen.cycle 6 in
   let m = Metrics.create g in
-  let r = Network.exec ~observe:(Observe.of_metrics m) g (hello_proto 8) in
+  let r =
+    Network.exec
+      ~config:(cfg ~observe:(Observe.of_metrics m) ())
+      g (hello_proto 8)
+  in
   (* One spontaneous round of sends, then one delivery round. *)
   check "rounds" 1 (Metrics.rounds m);
   check "messages" 12 (Metrics.messages m);
@@ -48,7 +55,8 @@ let test_bounds_verdict () =
   let g = Gen.cycle 8 in
   let r =
     Network.exec
-      ~observe:(Observe.make ~bounds:(Observe.bounds_spec ~d:4 ()) ())
+      ~config:
+        (cfg ~observe:(Observe.make ~bounds:(Observe.bounds_spec ~d:4 ()) ()) ())
       g (hello_proto 8)
   in
   match r.Network.report.Network.verdict with
@@ -58,7 +66,7 @@ let test_bounds_verdict () =
 let test_bandwidth_enforced () =
   let g = Gen.path 2 in
   (try
-     ignore (Network.exec ~bandwidth:16 g (hello_proto 17));
+     ignore (Network.exec ~config:(cfg ~bandwidth:16 ()) g (hello_proto 17));
      Alcotest.fail "expected Bandwidth_exceeded"
    with Network.Bandwidth_exceeded { bits; _ } -> check "bits" 17 bits)
 
@@ -74,7 +82,7 @@ let test_bandwidth_cumulative () =
     }
   in
   (try
-     ignore (Network.exec ~bandwidth:16 g proto);
+     ignore (Network.exec ~config:(cfg ~bandwidth:16 ()) g proto);
      Alcotest.fail "expected Bandwidth_exceeded"
    with Network.Bandwidth_exceeded { bits; _ } -> check "bits" 20 bits)
 
@@ -103,7 +111,7 @@ let test_livelock_guard () =
     }
   in
   (try
-     ignore (Network.exec ~max_rounds:10 g proto);
+     ignore (Network.exec ~config:(cfg ~max_rounds:10 ()) g proto);
      Alcotest.fail "expected No_quiescence"
    with Network.No_quiescence { round; active; messages } ->
      check "round" 10 round;
@@ -152,7 +160,9 @@ let prop_leader_bfs_rounds_linear_in_diameter =
     (fun n ->
       let g = Gen.cycle n in
       let m = Metrics.create g in
-      let _ = Proto.leader_bfs ~observe:(Observe.of_metrics m) g in
+      let _ =
+        Proto.leader_bfs ~config:(cfg ~observe:(Observe.of_metrics m) ()) g
+      in
       let d = Traverse.diameter g in
       Metrics.rounds m <= (3 * d) + 3)
 
@@ -161,8 +171,9 @@ let test_convergecast_sum () =
   let bt = Traverse.bfs g 0 in
   let m = Metrics.create g in
   let total =
-    Proto.convergecast ~observe:(Observe.of_metrics m) g
-      ~parent:bt.Traverse.parent ~root:0
+    Proto.convergecast
+      ~config:(cfg ~observe:(Observe.of_metrics m) ())
+      g ~parent:bt.Traverse.parent ~root:0
       ~values:(Array.init 15 (fun i -> i))
       ~op:( + ) ~value_bits:8
   in
@@ -198,8 +209,9 @@ let test_broadcast () =
   let bt = Traverse.bfs g 0 in
   let m = Metrics.create g in
   let got =
-    Proto.broadcast ~observe:(Observe.of_metrics m) g
-      ~parent:bt.Traverse.parent ~root:0 ~value:42 ~value_bits:8
+    Proto.broadcast
+      ~config:(cfg ~observe:(Observe.of_metrics m) ())
+      g ~parent:bt.Traverse.parent ~root:0 ~value:42 ~value_bits:8
   in
   Array.iter (fun x -> check "value" 42 x) got;
   check "rounds = depth" (Traverse.depth bt) (Metrics.rounds m)

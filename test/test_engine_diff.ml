@@ -103,36 +103,54 @@ let run_legacy proto g =
 let run_exec proto g =
   let m = Metrics.create g in
   let tr = Trace.create ~keep_messages:true () in
-  (* [?faults:None] is passed explicitly: every diff in this file also
-     pins the fault dispatcher's no-plan path to the clean engine, so
-     the fault layer cannot perturb a clean run even by one event. *)
+  (* [faults] is left at its [None] default on purpose: every diff in
+     this file also pins the dispatcher's no-plan path to the clean
+     engine, so the fault layer cannot perturb a clean run even by one
+     event. *)
   let r =
-    Network.exec ~bandwidth:4096
-      ~observe:(Observe.make ~metrics:m ~trace:tr ())
-      ?faults:None g proto
-  in
-  (r, m, tr)
-
-let run_exec_sharded ~domains proto g =
-  let m = Metrics.create g in
-  let tr = Trace.create ~keep_messages:true () in
-  let r =
-    Network.exec ~domains ~bandwidth:4096
-      ~observe:(Observe.make ~metrics:m ~trace:tr ())
+    Network.exec
+      ~config:
+        (Network.Config.make ~bandwidth:4096
+           ~observe:(Observe.make ~metrics:m ~trace:tr ())
+           ())
       g proto
   in
   (r, m, tr)
 
-(* Shard counts for the sequential-vs-sharded sweep: 1 must hit the
-   sequential engine (the dispatcher's k <= 1 path), 2/3/7 exercise even,
-   odd and more-shards-than-balance splits. CI's multicore job adds its
-   own count via DOMAINS. *)
-let shard_counts =
-  let base = [ 1; 2; 3; 7 ] in
+let run_exec_sharded ~domains ~epoch proto g =
+  let m = Metrics.create g in
+  let tr = Trace.create ~keep_messages:true () in
+  let r =
+    Network.exec
+      ~config:
+        (Network.Config.make ~domains ~epoch ~bandwidth:4096
+           ~observe:(Observe.make ~metrics:m ~trace:tr ())
+           ())
+      g proto
+  in
+  (r, m, tr)
+
+(* (domains, epoch) grid for the sequential-vs-sharded sweep: the ISSUE's
+   {1,2,4} x {1,2,8} matrix, plus odd and more-shards-than-balance splits
+   at the widest epoch. epoch = 1 pins the chunked (per-round barrier)
+   scheduler, epoch > 1 the fused cross-round batching with its
+   boundary-dart flush. domains = 1 must hit the sequential engine (the
+   dispatcher's k <= 1 path) whatever the epoch. CI's multicore job adds
+   its own shard count via DOMAINS. *)
+let sweep_points =
+  let base =
+    [
+      (1, 1); (1, 2); (1, 8);
+      (2, 1); (2, 2); (2, 8);
+      (4, 1); (4, 2); (4, 8);
+      (3, 8); (7, 8);
+    ]
+  in
   match Sys.getenv_opt "DOMAINS" with
   | Some s -> (
       match int_of_string_opt s with
-      | Some k when k > 1 && not (List.mem k base) -> base @ [ k ]
+      | Some k when k > 1 && not (List.mem_assoc k base) ->
+          base @ [ (k, 1); (k, 8) ]
       | _ -> base)
   | None -> base
 
@@ -179,15 +197,15 @@ let diff_one name proto g =
     r_new.Network.report.Network.active_peak
 
 (* The sharded engine against the sequential one: same exec entry point,
-   [?domains:k] versus the default — states, rounds, report, the full
-   metrics sink and the message-level trace journal must all be
-   bit-identical for every shard count. *)
+   a [~domains ~epoch] config versus the default — states, rounds,
+   report, the full metrics sink and the message-level trace journal must
+   all be bit-identical at every (domains, epoch) point. *)
 let diff_sharded name proto g =
   let (r_seq, m_seq, t_seq) = run_exec proto g in
   List.iter
-    (fun k ->
-      let name = Printf.sprintf "%s[domains=%d]" name k in
-      let (r_k, m_k, t_k) = run_exec_sharded ~domains:k proto g in
+    (fun (k, e) ->
+      let name = Printf.sprintf "%s[domains=%d,epoch=%d]" name k e in
+      let (r_k, m_k, t_k) = run_exec_sharded ~domains:k ~epoch:e proto g in
       check_bool (name ^ ": states") true (r_seq.Network.states = r_k.Network.states);
       check (name ^ ": rounds") r_seq.Network.rounds r_k.Network.rounds;
       check_bool (name ^ ": report") true
@@ -195,7 +213,7 @@ let diff_sharded name proto g =
       metrics_equal name m_seq m_k;
       check_bool (name ^ ": trace events") true
         (Trace.events t_seq = Trace.events t_k))
-    shard_counts
+    sweep_points
 
 let diff_all_protocols name g =
   let certify = certify_proto g in
@@ -273,13 +291,73 @@ let test_bandwidth_parity () =
     with Network.Bandwidth_exceeded { round; u; v; bits } -> (round, u, v, bits)
   in
   let p_old = payload (fun () -> ignore (Network.run ~bandwidth:16 g proto)) in
-  let p_new = payload (fun () -> ignore (Network.exec ~bandwidth:16 g proto)) in
-  check_bool "identical Bandwidth_exceeded payloads" true (p_old = p_new);
-  let p_shard =
+  let p_new =
     payload (fun () ->
-        ignore (Network.exec ~domains:2 ~bandwidth:16 g proto))
+        ignore
+          (Network.exec ~config:(Network.Config.make ~bandwidth:16 ()) g proto))
   in
-  check_bool "sharded Bandwidth_exceeded payload" true (p_old = p_shard)
+  check_bool "identical Bandwidth_exceeded payloads" true (p_old = p_new);
+  List.iter
+    (fun (k, e) ->
+      let p_shard =
+        payload (fun () ->
+            ignore
+              (Network.exec
+                 ~config:
+                   (Network.Config.make ~domains:k ~epoch:e ~bandwidth:16 ())
+                 g proto))
+      in
+      check_bool
+        (Printf.sprintf "sharded Bandwidth_exceeded payload [%d,%d]" k e)
+        true (p_old = p_shard))
+    [ (2, 1); (2, 8) ]
+
+(* A violation deep inside a fused epoch: a token walks a long path, and
+   the node that receives it at hop [boom] over-sends against the budget.
+   With few frontier nodes and long shard interiors the epoch scheduler
+   runs many rounds between barriers, so the erring round sits mid-epoch;
+   the raised payload and the observation prefix must still match the
+   sequential run exactly — the merge may not replay past the error. *)
+let test_epoch_oversend_parity () =
+  let n = 24 and boom = 10 in
+  let g = Gen.path n in
+  let proto =
+    {
+      Network.init = (fun _g v -> ((), if v = 0 then [ (1, 1) ] else []));
+      round =
+        (fun _g v st inbox ->
+          match inbox with
+          | [ (_, t) ] ->
+              if t = boom then (st, [ (v + 1, t); (v + 1, t) ])
+              else if v + 1 < n then (st, [ (v + 1, t + 1) ])
+              else (st, [])
+          | _ -> (st, []));
+      msg_bits = (fun _ -> 10);
+    }
+  in
+  let observed config =
+    let m = Metrics.create g in
+    let tr = Trace.create ~keep_messages:true () in
+    let config = Network.Config.with_observe (Observe.make ~metrics:m ~trace:tr ()) config in
+    let p =
+      try
+        ignore (Network.exec ~config g proto);
+        Alcotest.fail "expected Bandwidth_exceeded"
+      with Network.Bandwidth_exceeded { round; u; v; bits } -> (round, u, v, bits)
+    in
+    (p, Metrics.messages m, Metrics.total_bits m, Trace.events tr)
+  in
+  let seq = observed (Network.Config.make ~bandwidth:16 ()) in
+  let (p_seq, _, _, _) = seq in
+  let (rnd, _, _, _) = p_seq in
+  check "violation is mid-run" boom rnd;
+  List.iter
+    (fun (k, e) ->
+      check_bool
+        (Printf.sprintf "mid-epoch payload and prefix [domains=%d,epoch=%d]" k e)
+        true
+        (observed (Network.Config.make ~domains:k ~epoch:e ~bandwidth:16 ()) = seq))
+    [ (2, 2); (2, 8); (3, 8); (4, 8) ]
 
 let test_non_neighbor_parity () =
   let g = Gr.of_edges ~n:3 [ (0, 1); (1, 2) ] in
@@ -299,8 +377,19 @@ let test_non_neighbor_parity () =
   let m_old = msg (fun () -> ignore (Network.run g proto)) in
   let m_new = msg (fun () -> ignore (Network.exec g proto)) in
   Alcotest.(check string) "identical Invalid_argument messages" m_old m_new;
-  let m_shard = msg (fun () -> ignore (Network.exec ~domains:2 g proto)) in
-  Alcotest.(check string) "sharded Invalid_argument message" m_old m_shard
+  List.iter
+    (fun (k, e) ->
+      let m_shard =
+        msg (fun () ->
+            ignore
+              (Network.exec
+                 ~config:(Network.Config.make ~domains:k ~epoch:e ())
+                 g proto))
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "sharded Invalid_argument message [%d,%d]" k e)
+        m_old m_shard)
+    [ (2, 1); (2, 8) ]
 
 (* A sharded run that dies must leave the same observation prefix the
    sequential engine leaves: everything the sinks saw before the raise,
@@ -320,38 +409,51 @@ let test_sharded_error_observation () =
       msg_bits = (fun _ -> 10);
     }
   in
-  let observed domains =
+  let observed (domains, epoch) =
     let m = Metrics.create g in
     let tr = Trace.create ~keep_messages:true () in
     (try
        ignore
-         (Network.exec ~domains ~bandwidth:16
-            ~observe:(Observe.make ~metrics:m ~trace:tr ())
+         (Network.exec
+            ~config:
+              (Network.Config.make ~domains ~epoch ~bandwidth:16
+                 ~observe:(Observe.make ~metrics:m ~trace:tr ())
+                 ())
             g proto);
        Alcotest.fail "expected Bandwidth_exceeded"
      with Network.Bandwidth_exceeded _ -> ());
     (Metrics.messages m, Metrics.total_bits m, Trace.events tr)
   in
-  let seq = observed 1 in
+  let seq = observed (1, 8) in
   List.iter
-    (fun k ->
+    (fun (k, e) ->
       check_bool
-        (Printf.sprintf "error-path observation prefix [domains=%d]" k)
+        (Printf.sprintf "error-path observation prefix [domains=%d,epoch=%d]" k
+           e)
         true
-        (observed k = seq))
-    [ 2; 3 ]
+        (observed (k, e) = seq))
+    [ (2, 1); (2, 8); (3, 1); (3, 8) ]
 
 let test_domains_validation () =
   let g = Gen.path 4 in
-  (try
-     ignore (Network.exec ~domains:0 g hello);
-     Alcotest.fail "expected Invalid_argument for domains=0"
-   with Invalid_argument _ -> ());
+  let expect_invalid what config =
+    try
+      ignore (Network.exec ~config g hello);
+      Alcotest.fail ("expected Invalid_argument for " ^ what)
+    with Invalid_argument _ -> ()
+  in
+  expect_invalid "domains=0" (Network.Config.make ~domains:0 ());
+  expect_invalid "epoch=0" (Network.Config.make ~epoch:0 ());
+  expect_invalid "steal=0" (Network.Config.make ~steal:0 ());
+  expect_invalid "domains=-3" (Network.Config.default |> Network.Config.with_domains (-3));
   (* A fault plan and a sharded run are mutually exclusive; the engine
      must refuse loudly, not silently fall back to one of them. *)
   let plan = Fault.make ~spec:{ Fault.default with drop = 0.1 } ~seed:7 () in
   (try
-     ignore (Network.exec ~domains:2 ~faults:plan g hello);
+     ignore
+       (Network.exec
+          ~config:(Network.Config.make ~domains:2 ~faults:plan ())
+          g hello);
      Alcotest.fail "expected Invalid_argument for faults + domains>1"
    with Invalid_argument m ->
      check_bool "error names the restriction" true
@@ -364,8 +466,46 @@ let test_domains_validation () =
          go 0
        in
        has "fault" && has "domains"));
-  (* domains = 1 with a plan stays legal. *)
-  ignore (Network.exec ~domains:1 ~faults:plan g hello)
+  (* The epoch knob never conflicts with a fault plan: epochs batch the
+     sharded scheduler's barriers, and a plan forces the sequential
+     engine, where any epoch setting is simply inert. *)
+  ignore
+    (Network.exec
+       ~config:(Network.Config.make ~domains:1 ~epoch:8 ~faults:plan ())
+       g hello);
+  (* ... and the refusal is about the shard count, not the epoch. *)
+  expect_invalid "faults + domains=2 + epoch=1"
+    (Network.Config.make ~domains:2 ~epoch:1 ~faults:plan ())
+
+(* The deprecated labelled entry point must stay a pure alias: same
+   states, rounds, report, and observations as a config-driven exec. *)
+let test_exec_opts_alias () =
+  List.iter
+    (fun (name, g) ->
+      let m_a = Metrics.create g in
+      let tr_a = Trace.create ~keep_messages:true () in
+      let a =
+        Network.exec
+          ~config:
+            (Network.Config.make ~bandwidth:4096
+               ~observe:(Observe.make ~metrics:m_a ~trace:tr_a ())
+               ())
+          g flood
+      in
+      let m_b = Metrics.create g in
+      let tr_b = Trace.create ~keep_messages:true () in
+      let b =
+        Network.exec_opts ~bandwidth:4096
+          ~observe:(Observe.make ~metrics:m_b ~trace:tr_b ())
+          g flood
+      in
+      check_bool (name ^ ": states") true (a.Network.states = b.Network.states);
+      check (name ^ ": rounds") a.Network.rounds b.Network.rounds;
+      check_bool (name ^ ": report") true (a.Network.report = b.Network.report);
+      metrics_equal (name ^ " (exec_opts)") m_a m_b;
+      check_bool (name ^ ": trace events") true
+        (Trace.events tr_a = Trace.events tr_b))
+    [ ("grid 5x7", Gen.grid 5 7); ("petersen", Gen.petersen ()) ]
 
 let test_livelock_contracts () =
   (* Same livelock, two documented signals: Failure from the shim,
@@ -382,13 +522,30 @@ let test_livelock_contracts () =
      ignore (Network.run ~max_rounds:7 g proto);
      Alcotest.fail "expected Failure"
    with Failure _ -> ());
-  try
-    ignore (Network.exec ~max_rounds:7 g proto);
-    Alcotest.fail "expected No_quiescence"
-  with Network.No_quiescence { round; active; messages } ->
-    check "round" 7 round;
-    check "active" 2 active;
-    check "messages" 2 messages
+  (try
+     ignore
+       (Network.exec ~config:(Network.Config.make ~max_rounds:7 ()) g proto);
+     Alcotest.fail "expected No_quiescence"
+   with Network.No_quiescence { round; active; messages } ->
+     check "round" 7 round;
+     check "active" 2 active;
+     check "messages" 2 messages);
+  (* The sharded epoch scheduler must surface the identical payload: the
+     livelock check fires at the same round with the same census even
+     when that round closes mid-epoch. *)
+  List.iter
+    (fun (k, e) ->
+      try
+        ignore
+          (Network.exec
+             ~config:(Network.Config.make ~domains:k ~epoch:e ~max_rounds:7 ())
+             g proto);
+        Alcotest.fail "expected No_quiescence"
+      with Network.No_quiescence { round; active; messages } ->
+        check (Printf.sprintf "round [%d,%d]" k e) 7 round;
+        check (Printf.sprintf "active [%d,%d]" k e) 2 active;
+        check (Printf.sprintf "messages [%d,%d]" k e) 2 messages)
+    [ (2, 1); (2, 8) ]
 
 (* ------------------------------------------------------------------ *)
 (* Allocation regression                                               *)
@@ -418,7 +575,9 @@ let token_ring_words n ttl =
     }
   in
   let before = words_now () in
-  let r = Network.exec ~max_rounds:(ttl + 8) g proto in
+  let r =
+    Network.exec ~config:(Network.Config.make ~max_rounds:(ttl + 8) ()) g proto
+  in
   let after = words_now () in
   check "token ran out" (ttl + 1) r.Network.rounds;
   after -. before
@@ -447,12 +606,16 @@ let () =
       ( "error parity",
         [
           Alcotest.test_case "bandwidth payloads" `Quick test_bandwidth_parity;
+          Alcotest.test_case "mid-epoch over-send payloads" `Quick
+            test_epoch_oversend_parity;
           Alcotest.test_case "non-neighbor messages" `Quick
             test_non_neighbor_parity;
           Alcotest.test_case "livelock contracts" `Quick test_livelock_contracts;
           Alcotest.test_case "sharded error observation" `Quick
             test_sharded_error_observation;
-          Alcotest.test_case "domains validation" `Quick test_domains_validation;
+          Alcotest.test_case "config validation" `Quick test_domains_validation;
+          Alcotest.test_case "exec_opts is a pure alias" `Quick
+            test_exec_opts_alias;
         ] );
       ( "allocation",
         [

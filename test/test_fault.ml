@@ -8,6 +8,7 @@
 
 let check = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
+let cfg = Network.Config.make
 
 let to_all g v msg =
   Gr.fold_neighbors g v ~init:[] ~f:(fun acc w -> (w, msg) :: acc)
@@ -63,9 +64,12 @@ let run_observed ?spec ~seed g proto =
   let m = Metrics.create g in
   let tr = Trace.create () in
   let r =
-    Network.exec ~bandwidth:4096
-      ~observe:(Observe.make ~metrics:m ~trace:tr ())
-      ~faults:plan g proto
+    Network.exec
+      ~config:
+        (cfg ~bandwidth:4096
+           ~observe:(Observe.make ~metrics:m ~trace:tr ())
+           ~faults:plan ())
+      g proto
   in
   (r, m, tr, plan)
 
@@ -88,10 +92,10 @@ let test_same_seed_same_run () =
 let test_reset_replays () =
   let g = Gen.grid 5 5 in
   let plan = Fault.make ~spec:lossy_spec ~seed:9 () in
-  let r1 = Network.exec ~faults:plan g flood in
+  let r1 = Network.exec ~config:(cfg ~faults:plan ()) g flood in
   let s1 = Fault.stats plan in
   Fault.reset plan;
-  let r2 = Network.exec ~faults:plan g flood in
+  let r2 = Network.exec ~config:(cfg ~faults:plan ()) g flood in
   check_bool "reset replays states" true (r1.Network.states = r2.Network.states);
   check "reset replays rounds" r1.Network.rounds r2.Network.rounds;
   check_bool "reset replays stats" true (s1 = Fault.stats plan)
@@ -114,7 +118,7 @@ let test_zero_fault_plan_is_benign () =
      grace tail) but the same fixpoint for an idempotent protocol, and
      not a single fault event. *)
   let g = Gen.grid 5 6 in
-  let clean = Network.exec ~bandwidth:4096 g flood in
+  let clean = Network.exec ~config:(cfg ~bandwidth:4096 ()) g flood in
   let (r, m, tr, plan) = run_observed ~seed:7 g flood in
   check_bool "same final states" true (clean.Network.states = r.Network.states);
   check_bool "no fault events" true (fault_events tr = []);
@@ -256,7 +260,7 @@ let test_leader_bfs_over_lossy_links () =
   List.iter
     (fun (name, g) ->
       let plan = Fault.make ~spec:lossy_spec ~seed:23 () in
-      let faulty = Proto.leader_bfs ~faults:plan g in
+      let faulty = Proto.leader_bfs ~config:(cfg ~faults:plan ()) g in
       let clean = Proto.leader_bfs g in
       check_bool
         (name ^ ": leader election + BFS identical over lossy links")
@@ -291,7 +295,7 @@ let test_embedder_over_lossy_links () =
   List.iter
     (fun (name, g) ->
       let plan = Fault.make ~spec:lossy_spec ~seed:31 () in
-      let o = Embedder.run ~faults:plan g in
+      let o = Embedder.run ~config:(cfg ~faults:plan ()) g in
       match o.Embedder.rotation with
       | None -> Alcotest.fail (name ^ ": embedder lost a planar graph")
       | Some rot ->
@@ -305,7 +309,7 @@ let test_embedder_determinism_under_faults () =
   let g = Gen.grid 6 6 in
   let run () =
     let plan = Fault.make ~spec:lossy_spec ~seed:13 () in
-    let o = Embedder.run ~faults:plan g in
+    let o = Embedder.run ~config:(cfg ~faults:plan ()) g in
     (o.Embedder.report.Embedder.rounds, Fault.stats plan)
   in
   let (r1, s1) = run () in

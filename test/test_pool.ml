@@ -88,6 +88,74 @@ let test_runs_in_pool () =
   let pooled = Pool.map ~jobs:4 8 run in
   check_bool "pooled sweep = serial sweep" true (serial = pooled)
 
+(* ------------------------------------------------------------------ *)
+(* Persistent pool (Pool.create / Pool.run / Pool.shutdown)            *)
+(* ------------------------------------------------------------------ *)
+
+let test_persistent_completes_all_tasks () =
+  (* Work stealing may hand any task to any domain; every slot must be
+     written exactly once per run, over many reuses of one pool. *)
+  List.iter
+    (fun domains ->
+      let p = Pool.create ~domains () in
+      check (Printf.sprintf "size [domains=%d]" domains) domains (Pool.size p);
+      for round = 1 to 5 do
+        let n = 1 + (round * 17) in
+        let hits = Array.make n 0 in
+        Pool.run p ~tasks:n (fun i -> hits.(i) <- hits.(i) + (i * round));
+        Array.iteri
+          (fun i x ->
+            check
+              (Printf.sprintf "slot %d [domains=%d round=%d]" i domains round)
+              (i * round) x)
+          hits
+      done;
+      Pool.shutdown p)
+    [ 1; 2; 4; 7 ]
+
+let test_persistent_zero_tasks_and_validation () =
+  let p = Pool.create ~domains:2 () in
+  Pool.run p ~tasks:0 (fun _ -> assert false);
+  (try
+     Pool.run p ~tasks:(-1) (fun _ -> ());
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  Pool.shutdown p;
+  (try
+     Pool.run p ~tasks:1 (fun _ -> ());
+     Alcotest.fail "expected Invalid_argument after shutdown"
+   with Invalid_argument _ -> ());
+  (* Shutdown is idempotent. *)
+  Pool.shutdown p;
+  try ignore (Pool.create ~domains:0 ()); Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_persistent_lowest_error_wins () =
+  let p = Pool.create ~domains:4 () in
+  (try
+     Pool.run p ~tasks:100 (fun i ->
+         if i = 13 || i = 77 then failwith (string_of_int i));
+     Alcotest.fail "expected Task_failed"
+   with Pool.Task_failed { index; exn } ->
+     check "failing index" 13 index;
+     check_bool "inner exception" true (exn = Failure "13"));
+  (* A failed run must leave the pool usable. *)
+  let hits = Array.make 8 false in
+  Pool.run p ~tasks:8 (fun i -> hits.(i) <- true);
+  check_bool "usable after failure" true (Array.for_all Fun.id hits);
+  Pool.shutdown p
+
+let test_persistent_matches_map () =
+  (* The engine's usage shape: slot-indexed buffers merged in index
+     order must equal the one-shot Pool.map of the same function. *)
+  let f i = (i * 7919) mod 1000 in
+  let expected = Pool.map ~jobs:1 64 f in
+  let p = Pool.create ~domains:3 () in
+  let got = Array.make 64 (-1) in
+  Pool.run p ~tasks:64 (fun i -> got.(i) <- f i);
+  Pool.shutdown p;
+  check_bool "persistent run = map" true (got = expected)
+
 let () =
   Alcotest.run "pool"
     [
@@ -101,5 +169,16 @@ let () =
           Alcotest.test_case "reuse after failure" `Quick
             test_reuse_after_failure;
           Alcotest.test_case "simulation sweep" `Quick test_runs_in_pool;
+        ] );
+      ( "persistent",
+        [
+          Alcotest.test_case "completes all tasks across reuses" `Quick
+            test_persistent_completes_all_tasks;
+          Alcotest.test_case "zero tasks and validation" `Quick
+            test_persistent_zero_tasks_and_validation;
+          Alcotest.test_case "lowest error wins, pool survives" `Quick
+            test_persistent_lowest_error_wins;
+          Alcotest.test_case "slot merge matches Pool.map" `Quick
+            test_persistent_matches_map;
         ] );
     ]

@@ -131,7 +131,11 @@ let test_protocol_deterministic () =
     (fun (name, g) ->
       let run () =
         let m = Metrics.create g in
-        let states = Proto.leader_bfs ~observe:(Observe.of_metrics m) g in
+        let states =
+          Proto.leader_bfs
+            ~config:(Network.Config.make ~observe:(Observe.of_metrics m) ())
+            g
+        in
         (states, m)
       in
       let (s1, m1) = run () in
@@ -180,7 +184,11 @@ let test_quiescence () =
   List.iter
     (fun (name, g) ->
       let m = Metrics.create g in
-      let _ = Proto.leader_bfs ~observe:(Observe.of_metrics m) g in
+      let _ =
+        Proto.leader_bfs
+          ~config:(Network.Config.make ~observe:(Observe.of_metrics m) ())
+          g
+      in
       let limit = (16 * Gr.n g) + 64 in
       check_bool
         (Printf.sprintf "%s: quiesced (%d < %d)" name (Metrics.rounds m) limit)
@@ -232,7 +240,10 @@ let test_same_sender_order () =
     }
   in
   (* Three messages share the edge in round 0; give them room. *)
-  let states = (Network.exec ~bandwidth:64 g proto).Network.states in
+  let states =
+    (Network.exec ~config:(Network.Config.make ~bandwidth:64 ()) g proto)
+      .Network.states
+  in
   check_bool "outbox order preserved" true
     (states.(1) = [ (0, 10); (0, 20); (0, 30) ])
 

@@ -63,9 +63,13 @@ let test_tight_bandwidth_ok () =
      words must work and simply cost more rounds downstream. *)
   let g = Gen.grid 5 5 in
   let word = Part.word g in
-  let o = Embedder.run ~bandwidth:(2 * word) g in
+  let o =
+    Embedder.run ~config:(Network.Config.make ~bandwidth:(2 * word) ()) g
+  in
   check_bool "planar" true (o.Embedder.rotation <> None);
-  let fat = Embedder.run ~bandwidth:(64 * word) g in
+  let fat =
+    Embedder.run ~config:(Network.Config.make ~bandwidth:(64 * word) ()) g
+  in
   check_bool "tight costs at least as much" true
     (o.Embedder.report.Embedder.rounds
     >= fat.Embedder.report.Embedder.rounds)
@@ -76,7 +80,7 @@ let test_too_tight_bandwidth_detected () =
   let g = Gen.grid 4 4 in
   let word = Part.word g in
   (try
-     ignore (Embedder.run ~bandwidth:word g);
+     ignore (Embedder.run ~config:(Network.Config.make ~bandwidth:word ()) g);
      Alcotest.fail "expected Bandwidth_exceeded"
    with Network.Bandwidth_exceeded _ -> ())
 

@@ -220,7 +220,11 @@ let test_bounds_negative () =
 
 let traced_run g =
   let tr = Trace.create () in
-  let o = Embedder.run ~mode:Part.Economy ~observe:(Observe.of_trace tr) g in
+  let o =
+    Embedder.run
+      ~config:(Network.Config.make ~observe:(Observe.of_trace tr) ())
+      ~mode:Part.Economy g
+  in
   (tr, o)
 
 let test_spans_well_formed () =
@@ -275,7 +279,11 @@ let test_event_cap () =
 let test_round_log_consistent () =
   let g = Gen.grid 6 6 in
   let m = Metrics.create g in
-  let _ = Proto.leader_bfs ~observe:(Observe.of_metrics m) g in
+  let _ =
+    Proto.leader_bfs
+      ~config:(Network.Config.make ~observe:(Observe.of_metrics m) ())
+      g
+  in
   let log = Metrics.round_log m in
   check "one record per executed round" (Metrics.rounds m + 1)
     (List.length log);
@@ -295,12 +303,18 @@ let test_round_log_continues_across_runs () =
   (* Two protocol runs on one metrics object share a timeline. *)
   let g = Gen.binary_tree 15 in
   let m = Metrics.create g in
-  let states = Proto.leader_bfs ~observe:(Observe.of_metrics m) g in
+  let states =
+    Proto.leader_bfs
+      ~config:(Network.Config.make ~observe:(Observe.of_metrics m) ())
+      g
+  in
   let rounds_after_first = Metrics.rounds m in
   let parent = Array.map (fun s -> s.Proto.parent) states in
   let root = states.(0).Proto.leader in
   let _ =
-    Proto.convergecast ~observe:(Observe.of_metrics m) g ~parent ~root
+    Proto.convergecast
+      ~config:(Network.Config.make ~observe:(Observe.of_metrics m) ())
+      g ~parent ~root
       ~values:(Array.make 15 1) ~op:( + ) ~value_bits:4
   in
   let log = Metrics.round_log m in
@@ -319,7 +333,11 @@ let test_round_log_continues_across_runs () =
 let test_json_well_formed () =
   let g = Gen.grid 6 6 in
   let tr = Trace.create () in
-  let o = Embedder.run ~mode:Part.Economy ~observe:(Observe.of_trace tr) g in
+  let o =
+    Embedder.run
+      ~config:(Network.Config.make ~observe:(Observe.of_trace tr) ())
+      ~mode:Part.Economy g
+  in
   let r = o.Embedder.report in
   let s =
     Trace.to_json_string ~name:"grid-6x6"
@@ -351,7 +369,12 @@ let test_json_messages_kept () =
   let g = Gen.cycle 6 in
   let m = Metrics.create g in
   let tr = Trace.create ~keep_messages:true () in
-  let _ = Proto.leader_bfs ~observe:(Observe.make ~metrics:m ~trace:tr ()) g in
+  let _ =
+    Proto.leader_bfs
+      ~config:
+        (Network.Config.make ~observe:(Observe.make ~metrics:m ~trace:tr ()) ())
+      g
+  in
   let j = parse_json (Trace.to_json_string ~metrics:m tr) in
   check "every message in the journal" (Metrics.messages m)
     (arr_len (field j "messages"))
