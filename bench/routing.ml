@@ -1,0 +1,259 @@
+(* Routing-tier benchmark: query throughput and stretch versus n across
+   the generator families.
+
+   Every case is validated before it is timed: the Schnyder drawing must
+   lie on the grid with distinct points (plus the exhaustive O(m²)
+   no-crossing oracle on small cases), and every sampled query must be
+   Delivered — a single Stuck outcome poisons the run (nonzero exit).
+   Stretch (hops / BFS distance) is computed outside the timed region.
+
+     dune exec bench/routing.exe              # full sweep, up to n=30000
+     dune exec bench/routing.exe -- --quick   # CI smoke: small tier,
+                                              # exit 1 on any gate
+     dune exec bench/routing.exe -- --out F   # write the JSON to F
+
+   Results go to BENCH_routing.json and stdout. Pooled throughput is
+   measured on Pool.default_jobs domains — the "cores" field records
+   what this machine actually had, so cross-machine numbers are not
+   comparable unless it matches. *)
+
+let measure ~reps f =
+  ignore (f ());
+  let best = ref infinity in
+  for _ = 1 to reps do
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    let t1 = Unix.gettimeofday () in
+    if t1 -. t0 < !best then best := t1 -. t0
+  done;
+  !best
+
+type case = {
+  name : string;
+  n : int;
+  m : int;
+  grid_side : int;
+  virtual_edges : int;
+  build_wall : float;
+  queries : int;
+  delivered : int;
+  unreachable : int;
+  stuck : int;
+  qps_serial : float;
+  qps_pooled : float;
+  jobs : int;
+  mean_stretch : float;
+  max_stretch : float;
+  mean_hops : float;
+  recoveries : int;
+  drawing_ok : bool;
+}
+
+let run_case ~reps ~jobs name g =
+  let n = Gr.n g and m = Gr.m g in
+  let r =
+    match Planarity.embed g with
+    | Planarity.Planar r -> r
+    | Planarity.Nonplanar ->
+        Printf.eprintf "routing bench: %s is not planar\n" name;
+        exit 2
+  in
+  let t0 = Unix.gettimeofday () in
+  let sch = Schnyder.draw r in
+  let engine = Route.make sch in
+  let build_wall = Unix.gettimeofday () -. t0 in
+  (* Drawing gate before any timing. *)
+  let x, y = Schnyder.coords sch in
+  let drawing_ok =
+    Drawing.within_grid ~x ~y ~side:(Schnyder.grid_side sch)
+    && Drawing.distinct ~x ~y
+    && (m > 3000 || Drawing.first_crossing g ~x ~y = None)
+  in
+  let queries = min 2000 (4 * n) in
+  let rng = Random.State.make [| 1009; n |] in
+  let pairs =
+    Array.init queries (fun _ ->
+        (Random.State.int rng n, Random.State.int rng n))
+  in
+  let outs = Route.route_batch engine pairs in
+  let delivered = ref 0 and unreachable = ref 0 and stuck = ref 0 in
+  let hops_total = ref 0 and recoveries = ref 0 in
+  let sum_stretch = ref 0.0 and max_stretch = ref 0.0 and n_stretch = ref 0 in
+  let dist_cache = Hashtbl.create 64 in
+  let dist s d =
+    let a =
+      match Hashtbl.find_opt dist_cache s with
+      | Some a -> a
+      | None ->
+          let a = Traverse.distances (Route.graph engine) s in
+          Hashtbl.replace dist_cache s a;
+          a
+    in
+    a.(d)
+  in
+  Array.iteri
+    (fun i o ->
+      let s, d = pairs.(i) in
+      match o with
+      | Route.Delivered { hops; recoveries = rc; _ } ->
+          incr delivered;
+          hops_total := !hops_total + hops;
+          recoveries := !recoveries + rc;
+          if hops > 0 then begin
+            let bfs = dist s d in
+            if bfs > 0 then begin
+              let st = float_of_int hops /. float_of_int bfs in
+              sum_stretch := !sum_stretch +. st;
+              incr n_stretch;
+              if st > !max_stretch then max_stretch := st
+            end
+          end
+      | Route.Unreachable -> incr unreachable
+      | Route.Stuck _ -> incr stuck)
+    outs;
+  let qps_serial =
+    let w = measure ~reps (fun () -> Route.route_batch engine pairs) in
+    float_of_int queries /. max 1e-9 w
+  in
+  let pool = Pool.create ~domains:jobs () in
+  let qps_pooled =
+    let w = measure ~reps (fun () -> Route.route_batch ~pool engine pairs) in
+    float_of_int queries /. max 1e-9 w
+  in
+  Pool.shutdown pool;
+  let c =
+    {
+      name;
+      n;
+      m;
+      grid_side = Schnyder.grid_side sch;
+      virtual_edges = Triangulate.virtual_count (Schnyder.triangulation sch);
+      build_wall;
+      queries;
+      delivered = !delivered;
+      unreachable = !unreachable;
+      stuck = !stuck;
+      qps_serial;
+      qps_pooled;
+      jobs;
+      mean_stretch = !sum_stretch /. float_of_int (max 1 !n_stretch);
+      max_stretch = !max_stretch;
+      mean_hops = float_of_int !hops_total /. float_of_int (max 1 !delivered);
+      recoveries = !recoveries;
+      drawing_ok;
+    }
+  in
+  Printf.printf
+    "%-18s n=%-6d m=%-6d build %7.3fs  q=%-5d del=%-5d stuck=%d  %9.0f q/s \
+     serial %9.0f q/s x%d  stretch %5.2f (max %7.2f)  %s\n\
+     %!"
+    c.name c.n c.m c.build_wall c.queries c.delivered c.stuck c.qps_serial
+    c.qps_pooled c.jobs c.mean_stretch c.max_stretch
+    (if c.stuck = 0 && c.drawing_ok then "ok" else "FAIL");
+  c
+
+(* Workloads ---------------------------------------------------------- *)
+
+let cases quick =
+  let mp = if quick then [ 500; 2000 ] else [ 500; 2000; 8000; 30000 ] in
+  let gr = if quick then [ 22; 50 ] else [ 22; 50; 100; 173 ] in
+  let op = if quick then [ 500; 2000 ] else [ 500; 2000; 8000; 30000 ] in
+  let k4 = if quick then [ 80; 333 ] else [ 80; 333; 1333; 5000 ] in
+  List.concat
+    [
+      List.map
+        (fun n ->
+          ( Printf.sprintf "maxplanar-%d" n,
+            Gen.random_maximal_planar ~seed:(42 + n) n ))
+        mp;
+      List.map (fun s -> (Printf.sprintf "grid-%dx%d" s s, Gen.grid s s)) gr;
+      List.map
+        (fun n ->
+          ( Printf.sprintf "outerplanar-%d" n,
+            Gen.random_outerplanar ~seed:(7 + n) ~n ~chord_prob:0.5 ))
+        op;
+      List.map
+        (fun s -> (Printf.sprintf "k4-subdiv-%d" s, Gen.k4_subdivision s))
+        k4;
+    ]
+
+(* JSON ---------------------------------------------------------------- *)
+
+let json_of_cases jobs cases =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"benchmark\": \"routing-throughput-stretch\",\n";
+  Buffer.add_string b
+    "  \"unit\": { \"wall\": \"seconds\", \"throughput\": \"queries/s\" },\n";
+  Buffer.add_string b (Printf.sprintf "  \"cores\": %d,\n" jobs);
+  Buffer.add_string b "  \"cases\": [\n";
+  List.iteri
+    (fun i c ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"name\": %S, \"n\": %d, \"m\": %d, \"grid_side\": %d, \
+            \"virtual_edges\": %d,\n\
+           \      \"build_wall_s\": %.6f, \"queries\": %d, \"delivered\": \
+            %d, \"unreachable\": %d, \"stuck\": %d,\n\
+           \      \"qps_serial\": %.0f, \"qps_pooled\": %.0f, \"jobs\": %d,\n\
+           \      \"mean_stretch\": %.3f, \"max_stretch\": %.2f, \
+            \"mean_hops\": %.2f, \"recoveries\": %d, \"drawing_ok\": %b }%s\n"
+           c.name c.n c.m c.grid_side c.virtual_edges c.build_wall c.queries
+           c.delivered c.unreachable c.stuck c.qps_serial c.qps_pooled c.jobs
+           c.mean_stretch c.max_stretch c.mean_hops c.recoveries c.drawing_ok
+           (if i = List.length cases - 1 then "" else ",")))
+    cases;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+(* Driver -------------------------------------------------------------- *)
+
+let () =
+  let quick = ref false in
+  let out = ref "BENCH_routing.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--out" :: file :: rest ->
+        out := file;
+        parse rest
+    | [ "--out" ] ->
+        prerr_endline "routing: --out expects a file name";
+        exit 2
+    | arg :: _ ->
+        Printf.eprintf "routing: unknown argument %s\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let reps = if !quick then 2 else 3 in
+  let jobs = Pool.default_jobs () in
+  Printf.printf
+    "routing tier: Schnyder drawing + greedy-face-greedy queries (%d \
+     domains)%s\n\n"
+    jobs
+    (if !quick then " [--quick]" else "");
+  let results =
+    List.map (fun (name, g) -> run_case ~reps ~jobs name g) (cases !quick)
+  in
+  let oc = open_out !out in
+  output_string oc (json_of_cases jobs results);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" !out;
+  (* Gates: a single stuck query, an invalid drawing, or an undelivered
+     same-component pair poisons the run. *)
+  let bad =
+    List.filter
+      (fun c ->
+        c.stuck > 0 || (not c.drawing_ok)
+        || c.delivered + c.unreachable <> c.queries)
+      results
+  in
+  List.iter
+    (fun c ->
+      Printf.eprintf
+        "routing: gate failed on %s (delivered=%d/%d stuck=%d drawing_ok=%b)\n"
+        c.name c.delivered c.queries c.stuck c.drawing_ok)
+    bad;
+  if bad <> [] then exit 1

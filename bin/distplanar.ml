@@ -674,6 +674,179 @@ let certify_cmd =
           network rejects.")
     term
 
+let route_cmd =
+  let src_t =
+    Arg.(value & opt int 0 & info [ "src" ] ~doc:"Source vertex of a single query.")
+  in
+  let dst_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "dst" ] ~doc:"Destination vertex of a single query.")
+  in
+  let batch_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "batch" ] ~docv:"FILE"
+          ~doc:"Read queries from $(docv): one `src dst' pair per line.")
+  in
+  let random_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "random" ] ~docv:"K@SEED"
+          ~doc:"Route $(i,K) random vertex pairs drawn with $(i,SEED).")
+  in
+  let jobs_t =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~doc:"Answer batched queries on this many domains.")
+  in
+  let path_t =
+    Arg.(value & flag & info [ "path" ] ~doc:"Print the full route of each query.")
+  in
+  let parse_random s =
+    match String.split_on_char '@' s with
+    | [ k; seed ] -> (
+        match (int_of_string_opt k, int_of_string_opt seed) with
+        | (Some k, Some seed) when k > 0 -> (k, seed)
+        | _ ->
+            Printf.eprintf "route: cannot parse --random %S (want K@SEED)\n" s;
+            exit 2)
+    | _ ->
+        Printf.eprintf "route: cannot parse --random %S (want K@SEED)\n" s;
+        exit 2
+  in
+  let parse_batch n file =
+    let ic =
+      try open_in file
+      with Sys_error msg ->
+        Printf.eprintf "route: cannot read batch file: %s\n" msg;
+        exit 2
+    in
+    let pairs = ref [] and line_no = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         incr line_no;
+         match
+           String.split_on_char ' ' (String.trim line)
+           |> List.filter (fun s -> s <> "")
+         with
+         | [] -> ()
+         | [ a; b ] -> (
+             match (int_of_string_opt a, int_of_string_opt b) with
+             | (Some s, Some d) when s >= 0 && s < n && d >= 0 && d < n ->
+                 pairs := (s, d) :: !pairs
+             | _ ->
+                 Printf.eprintf "route: %s:%d: bad query %S\n" file !line_no line;
+                 exit 2)
+         | _ ->
+             Printf.eprintf "route: %s:%d: bad query %S\n" file !line_no line;
+             exit 2
+       done
+     with End_of_file -> close_in ic);
+    Array.of_list (List.rev !pairs)
+  in
+  let run family n rows cols seglen seed m chord src dst batch random jobs
+      show_path =
+    let g = make_graph family n rows cols seglen seed m chord in
+    graph_summary g;
+    let rot =
+      match Planarity.embed g with
+      | Planarity.Planar r -> r
+      | Planarity.Nonplanar ->
+          Printf.printf "verdict          : not planar — cannot draw\n";
+          exit 1
+    in
+    let t0 = Unix.gettimeofday () in
+    let sch = Schnyder.draw rot in
+    let engine = Route.make sch in
+    let build = Unix.gettimeofday () -. t0 in
+    Printf.printf "drawing          : %dx%d grid, %d virtual edges, built in \
+                   %.3f s\n"
+      (Schnyder.grid_side sch) (Schnyder.grid_side sch)
+      (Triangulate.virtual_count (Schnyder.triangulation sch))
+      build;
+    let nv = Gr.n g in
+    let pairs =
+      match (batch, random) with
+      | Some file, _ -> parse_batch nv file
+      | None, Some spec ->
+          let k, rseed = parse_random spec in
+          let rng = Random.State.make [| rseed; nv |] in
+          Array.init k (fun _ ->
+              (Random.State.int rng nv, Random.State.int rng nv))
+      | None, None -> (
+          match dst with
+          | Some d when src >= 0 && src < nv && d >= 0 && d < nv ->
+              [| (src, d) |]
+          | Some _ ->
+              Printf.eprintf "route: --src/--dst out of range (n=%d)\n" nv;
+              exit 2
+          | None ->
+              Printf.eprintf
+                "route: give --dst (with --src), --batch or --random\n";
+              exit 2)
+    in
+    let pool = if jobs > 1 then Some (Pool.create ~domains:jobs ()) else None in
+    let t1 = Unix.gettimeofday () in
+    let outs = Route.route_batch ?pool engine pairs in
+    let elapsed = Unix.gettimeofday () -. t1 in
+    Option.iter Pool.shutdown pool;
+    let delivered = ref 0 and unreachable = ref 0 and stuck = ref 0 in
+    let hops_total = ref 0 and recov_total = ref 0 in
+    Array.iteri
+      (fun i o ->
+        let s, d = pairs.(i) in
+        match o with
+        | Route.Delivered { path; hops; greedy_hops; face_hops; recoveries } ->
+            incr delivered;
+            hops_total := !hops_total + hops;
+            recov_total := !recov_total + recoveries;
+            if show_path || Array.length pairs = 1 then begin
+              Printf.printf "%d -> %d: %d hops (%d greedy, %d face, %d \
+                             recoveries)\n"
+                s d hops greedy_hops face_hops recoveries;
+              if show_path then
+                Printf.printf "  %s\n"
+                  (String.concat " " (List.map string_of_int path))
+            end
+        | Route.Unreachable ->
+            incr unreachable;
+            if show_path || Array.length pairs = 1 then
+              Printf.printf "%d -> %d: unreachable\n" s d
+        | Route.Stuck { at; hops } ->
+            incr stuck;
+            Printf.printf "%d -> %d: STUCK at %d after %d hops\n" s d at hops)
+      outs;
+    Printf.printf "queries          : %d total, %d delivered, %d unreachable, \
+                   %d stuck\n"
+      (Array.length pairs) !delivered !unreachable !stuck;
+    if !delivered > 0 then
+      Printf.printf "delivered        : %.1f hops/query mean, %d recoveries, \
+                     %.0f queries/s (%d job%s)\n"
+        (float_of_int !hops_total /. float_of_int !delivered)
+        !recov_total
+        (float_of_int (Array.length pairs) /. max 1e-9 elapsed)
+        jobs
+        (if jobs = 1 then "" else "s");
+    if !stuck > 0 then exit 1
+  in
+  let term =
+    Term.(
+      const run $ family_t $ n_t $ rows_t $ cols_t $ seglen_t $ seed_t $ m_t
+      $ chord_t $ src_t $ dst_t $ batch_t $ random_t $ jobs_t $ path_t)
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Draw the graph on the integer grid (Schnyder coordinates) and \
+          answer point-to-point queries with greedy-face-greedy geographic \
+          routing over real edges only.")
+    term
+
 let families_cmd =
   let run () = print_endline family_doc in
   Cmd.v (Cmd.info "families" ~doc:"List graph families.") Term.(const run $ const ())
@@ -686,4 +859,4 @@ let () =
   let info = Cmd.info "distplanar" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ embed_cmd; baseline_cmd; check_cmd; witness_cmd; separator_cmd;
-         trace_cmd; chaos_cmd; certify_cmd; families_cmd ]))
+         trace_cmd; chaos_cmd; certify_cmd; route_cmd; families_cmd ]))

@@ -1,0 +1,98 @@
+(* Exact integer geometry for grid drawings.
+
+   Coordinates are grid integers bounded by n - 2 <= ~30k in every
+   workload this repo generates, so cross products stay below ~2^34 and
+   native int arithmetic is exact. Nothing here allocates on the hot
+   predicates. *)
+
+let orient (ax, ay) (bx, by) (cx, cy) =
+  let v = ((bx - ax) * (cy - ay)) - ((by - ay) * (cx - ax)) in
+  compare v 0
+
+let on_segment (px, py) (ax, ay) (bx, by) =
+  orient (ax, ay) (bx, by) (px, py) = 0
+  && min ax bx <= px
+  && px <= max ax bx
+  && min ay by <= py
+  && py <= max ay by
+
+let proper_cross p q a b =
+  let d1 = orient a b p and d2 = orient a b q in
+  let d3 = orient p q a and d4 = orient p q b in
+  d1 * d2 < 0 && d3 * d4 < 0
+
+let segments_conflict p q a b =
+  proper_cross p q a b
+  || on_segment a p q || on_segment b p q
+  || on_segment p a b || on_segment q a b
+
+let first_crossing g ~x ~y =
+  let pt v = (x.(v), y.(v)) in
+  let edges = Array.of_list (Gr.edges g) in
+  let m = Array.length edges in
+  let found = ref None in
+  (try
+     for i = 0 to m - 1 do
+       let u1, v1 = edges.(i) in
+       for j = i + 1 to m - 1 do
+         let u2, v2 = edges.(j) in
+         let bad =
+           if u1 = u2 || u1 = v2 || v1 = u2 || v1 = v2 then begin
+             (* One shared endpoint: only the three free endpoints can
+                land on the other closed segment. *)
+             let shared, p1, p2 =
+               if u1 = u2 then (u1, v1, v2)
+               else if u1 = v2 then (u1, v1, u2)
+               else if v1 = u2 then (v1, u1, v2)
+               else (v1, u1, u2)
+             in
+             on_segment (pt p1) (pt u2) (pt v2)
+             || on_segment (pt p2) (pt u1) (pt v1)
+             || on_segment (pt shared) (pt p1) (pt p2)
+                && orient (pt shared) (pt p1) (pt p2) = 0
+                && (pt p1 = pt shared || pt p2 = pt shared)
+           end
+           else segments_conflict (pt u1) (pt v1) (pt u2) (pt v2)
+         in
+         if bad then begin
+           found := Some (edges.(i), edges.(j));
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  !found
+
+let valid_triangulation_drawing r ~x ~y =
+  let pt v = (x.(v), y.(v)) in
+  let pos = ref 0 and neg = ref 0 and zero = ref 0 and other = ref 0 in
+  List.iter
+    (fun face ->
+      match face with
+      | [ (a, _); (b, _); (c, _) ] -> (
+          match orient (pt a) (pt b) (pt c) with
+          | 0 -> incr zero
+          | s when s > 0 -> incr pos
+          | _ -> incr neg)
+      | _ -> incr other)
+    (Rotation.faces r);
+  !other = 0 && !zero = 0 && ((!pos = 1 && !neg > 0) || (!neg = 1 && !pos > 0))
+
+let distinct ~x ~y =
+  let n = Array.length x in
+  if n <= 1 then true
+  else begin
+    let pts = Array.init n (fun i -> (x.(i), y.(i))) in
+    Array.sort compare pts;
+    let ok = ref true in
+    for i = 0 to n - 2 do
+      if pts.(i) = pts.(i + 1) then ok := false
+    done;
+    !ok
+  end
+
+let within_grid ~x ~y ~side =
+  let ok = ref true in
+  Array.iter (fun v -> if v < 0 || v > side then ok := false) x;
+  Array.iter (fun v -> if v < 0 || v > side then ok := false) y;
+  !ok

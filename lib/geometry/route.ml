@@ -1,0 +1,304 @@
+(* Greedy-face-greedy routing on the real graph's straight-line drawing.
+
+   All geometry is exact: distances are squared integers, face-crossing
+   parameters are fractions compared by 128-bit cross multiplication
+   (products of two ~2^35 cross products overflow 63-bit ints, so each
+   product is carried as hi * 2^20 + lo). *)
+
+type t = {
+  sch : Schnyder.t;
+  g : Gr.t;
+  x : int array;
+  y : int array;
+  rot : int array array; (* neighbor cycle per vertex, real graph *)
+  fnext : int array; (* dart -> face-successor dart *)
+  dhead : int array; (* dart -> head vertex *)
+  comp : int array; (* component id per vertex *)
+  ccw : bool; (* drawing chirality: rotations counterclockwise? *)
+}
+
+type outcome =
+  | Delivered of {
+      path : int list;
+      hops : int;
+      greedy_hops : int;
+      face_hops : int;
+      recoveries : int;
+    }
+  | Unreachable
+  | Stuck of { at : int; hops : int }
+
+(* Dart ids: edge e spawns darts 2e (min -> max) and 2e + 1 (max -> min). *)
+let did g u v =
+  let e = Gr.edge_index g u v in
+  if u < v then 2 * e else (2 * e) + 1
+
+let make sch =
+  let tri = Schnyder.triangulation sch in
+  let src_rot = Triangulate.source tri in
+  let g = Rotation.graph src_rot in
+  let n = Gr.n g and m = Gr.m g in
+  let x, y = Schnyder.coords sch in
+  let rot = Array.init n (fun v -> Rotation.rotation src_rot v) in
+  let fnext = Array.make (max 1 (2 * m)) (-1) in
+  let dhead = Array.make (max 1 (2 * m)) (-1) in
+  for v = 0 to n - 1 do
+    let r = rot.(v) in
+    let deg = Array.length r in
+    for i = 0 to deg - 1 do
+      let u = r.(i) and w = r.((i + 1) mod deg) in
+      (* face-next of (u -> v) is (v -> succ_v u) *)
+      fnext.(did g u v) <- did g v w;
+      dhead.(did g u v) <- v
+    done
+  done;
+  let comp = Array.make (max 1 n) (-1) in
+  List.iteri
+    (fun i vs -> List.iter (fun v -> comp.(v) <- i) vs)
+    (Traverse.components g);
+  (* Chirality: the triangulation's interior faces all share one
+     orientation sign (only the outer face differs). When rotations run
+     counterclockwise in the drawing, the face orbit of a dart lies to
+     its right and is traced clockwise — negative orientation — so a
+     negative majority means counterclockwise rotations. *)
+  let ccw =
+    let pos = ref 0 and neg = ref 0 in
+    List.iter
+      (fun f ->
+        match f with
+        | [ (a, _); (b, _); (c, _) ] ->
+            let o =
+              Drawing.orient (x.(a), y.(a)) (x.(b), y.(b)) (x.(c), y.(c))
+            in
+            if o > 0 then incr pos else if o < 0 then incr neg
+        | _ -> ())
+      (Rotation.faces (Triangulate.rotation tri));
+    !pos < !neg
+  in
+  { sch; g; x; y; rot; fnext; dhead; comp; ccw }
+
+let graph t = t.g
+let schnyder t = t.sch
+
+(* ---- exact arithmetic helpers ---------------------------------------- *)
+
+let d2 t u (tx, ty) =
+  let dx = t.x.(u) - tx and dy = t.y.(u) - ty in
+  (dx * dx) + (dy * dy)
+
+(* Cross product of (b - a) and (c - a), chirality-adjusted so that
+   "left of" means the same thing whichever way the drawing is mirrored. *)
+let cross_raw (ax, ay) (bx, by) (cx, cy) =
+  ((bx - ax) * (cy - ay)) - ((by - ay) * (cx - ax))
+
+(* a * b as hi * 2^20 + lo for 0 <= a, b < 2^40: exact 128-bit-ish carry. *)
+let mulsplit a b =
+  let ah = a asr 20 and al = a land 0xFFFFF in
+  let low = al * b in
+  ((ah * b) + (low asr 20), low land 0xFFFFF)
+
+(* Compare n1/d1 vs n2/d2 with all components >= 0, d > 0. *)
+let frac_cmp (n1, d1) (n2, d2) =
+  let h1, l1 = mulsplit n1 d2 and h2, l2 = mulsplit n2 d1 in
+  if h1 <> h2 then compare h1 h2 else compare l1 l2
+
+(* Crossing parameter of segment (p, t) with edge (a, b), as a
+   nonnegative fraction along p -> t. Caller guarantees a proper cross,
+   so the denominator is nonzero. *)
+let cross_param pp tt aa bb =
+  let px, py = pp and tx, ty = tt in
+  let ax, ay = aa and bx, by = bb in
+  let den = ((tx - px) * (by - ay)) - ((ty - py) * (bx - ax)) in
+  let num = ((ax - px) * (by - ay)) - ((ay - py) * (bx - ax)) in
+  if den < 0 then (-num, -den) else (num, den)
+
+(* Does the ray u -> r lie in the angular sector from neighbor va to
+   neighbor vb (in rotation order)? Sector is inclusive at va, exclusive
+   at vb; collinear-opposite and full-circle (degree-1) cases handled. *)
+let in_wedge t u va vb (rx, ry) =
+  let o = (t.x.(u), t.y.(u)) in
+  let pa = (t.x.(va), t.y.(va)) and pb = (t.x.(vb), t.y.(vb)) in
+  let cross a b c =
+    let v = cross_raw a b c in
+    if t.ccw then v else -v
+  in
+  let dot (axx, ayy) (bxx, byy) =
+    let ox, oy = o in
+    ((axx - ox) * (bxx - ox)) + ((ayy - oy) * (byy - oy))
+  in
+  let r = (rx, ry) in
+  let c1 = cross o pa r and c2 = cross o r pb and c0 = cross o pa pb in
+  if c1 = 0 && dot pa r > 0 then true (* on the opening ray *)
+  else if c2 = 0 && dot pb r > 0 then false (* next sector's opening *)
+  else if c0 > 0 then c1 > 0 && c2 > 0
+  else if c0 < 0 then c1 > 0 || c2 > 0
+  else if dot pa pb > 0 then true (* degree-1 vertex: full circle *)
+  else c1 > 0 (* straight angle: the left half-plane *)
+
+(* The dart at [u] opening the face whose sector contains the ray to
+   (rx, ry): the face between consecutive neighbors (a, b = succ a) —
+   the orbit lying to the right of dart (u -> b) for counterclockwise
+   rotations, and its mirror image otherwise — is the orbit through
+   (u -> b) in both chiralities. *)
+let entry_dart t u (rx, ry) =
+  let r = t.rot.(u) in
+  let deg = Array.length r in
+  let rec go i =
+    if i >= deg then
+      failwith "Route: internal error: no face sector contains the target"
+    else
+      let a = r.(i) and b = r.((i + 1) mod deg) in
+      if in_wedge t u a b (rx, ry) then did t.g u b else go (i + 1)
+  in
+  go 0
+
+let route t src dst =
+  let n = Gr.n t.g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Route.route: vertex out of range";
+  if src = dst then
+    Delivered
+      { path = [ src ]; hops = 0; greedy_hops = 0; face_hops = 0; recoveries = 0 }
+  else if t.comp.(src) <> t.comp.(dst) then Unreachable
+  else begin
+    let tt = (t.x.(dst), t.y.(dst)) in
+    let budget = (16 * n) + 64 in
+    let path = ref [ src ] in
+    let hops = ref 0 and greedy_hops = ref 0 and face_hops = ref 0 in
+    let recoveries = ref 0 in
+    let cur = ref src in
+    let stuck = ref false in
+    let step ~face v =
+      incr hops;
+      if face then incr face_hops else incr greedy_hops;
+      path := v :: !path;
+      cur := v;
+      if !hops > budget then stuck := true
+    in
+    (* One greedy hop: the strictly closest neighbor, if any improves. *)
+    let greedy_next () =
+      let best = ref (-1) and bestd = ref (d2 t !cur tt) in
+      Array.iter
+        (fun w ->
+          let dw = d2 t w tt in
+          if dw < !bestd then begin
+            bestd := dw;
+            best := w
+          end)
+        t.rot.(!cur);
+      !best
+    in
+    (* Face recovery episode: anchored at p, walk stabbed faces until a
+       vertex strictly closer than p turns up. *)
+    let recover () =
+      incr recoveries;
+      let p = !cur in
+      let pp = (t.x.(p), t.y.(p)) in
+      let anchor_d = d2 t p tt in
+      let pt v = (t.x.(v), t.y.(v)) in
+      let tau = ref (0, 1) in
+      let d0 = ref (entry_dart t p tt) in
+      let episode_done = ref false in
+      while (not !episode_done) && not !stuck do
+        (* Scan the whole face orbit of !d0: the first strictly closer
+           vertex (by walk order), else the crossing furthest along the
+           segment and strictly beyond the entry point. *)
+        let closer_at = ref (-1) in
+        let best_cross_at = ref (-1) and best_tau = ref (0, 0) in
+        let d = ref !d0 and k = ref 0 in
+        let guard = ref (4 * Gr.m t.g) in
+        let continue = ref true in
+        (* Source of the scan's start dart: the vertex we stand at —
+           the anchor in the first scan, the crossing dart's source in
+           every later one. *)
+        let prev_src = ref !cur in
+        while !continue do
+          let head = t.dhead.(!d) in
+          if !closer_at < 0 && d2 t head tt < anchor_d then begin
+            closer_at := !k;
+            continue := false
+          end;
+          let a = !prev_src and b = head in
+          if
+            !closer_at < 0
+            && Drawing.proper_cross (pt a) (pt b) pp tt
+          then begin
+            let tau_c = cross_param pp tt (pt a) (pt b) in
+            if
+              frac_cmp tau_c !tau > 0
+              && (!best_cross_at < 0 || frac_cmp tau_c !best_tau > 0)
+            then begin
+              best_cross_at := !k;
+              best_tau := tau_c
+            end
+          end;
+          prev_src := head;
+          d := t.fnext.(!d);
+          incr k;
+          decr guard;
+          if !d = !d0 || !guard <= 0 then continue := false
+        done;
+        if !guard <= 0 then stuck := true
+        else if !closer_at >= 0 then begin
+          (* Walk along the face to the closer vertex, resume greedy. *)
+          let d = ref !d0 in
+          for _ = 0 to !closer_at do
+            if not !stuck then begin
+              step ~face:true t.dhead.(!d);
+              d := t.fnext.(!d)
+            end
+          done;
+          episode_done := true
+        end
+        else if !best_cross_at >= 0 then begin
+          (* Walk to the source of the crossing dart, hop over the edge
+             combinatorially (stay at the same vertex, switch faces). *)
+          let d = ref !d0 in
+          for _ = 1 to !best_cross_at do
+            if not !stuck then begin
+              step ~face:true t.dhead.(!d);
+              d := t.fnext.(!d)
+            end
+          done;
+          (* !d is the crossing dart (alpha -> beta); continue scanning
+             the face on its far side, from alpha. *)
+          let alpha = !cur and beta = t.dhead.(!d) in
+          tau := !best_tau;
+          d0 := t.fnext.(did t.g beta alpha)
+        end
+        else
+          (* No closer vertex and no forward crossing: the invariants of
+             a plane drawing exclude this. *)
+          stuck := true
+      done
+    in
+    while (not !stuck) && !cur <> dst do
+      let nxt = greedy_next () in
+      if nxt >= 0 then step ~face:false nxt else recover ()
+    done;
+    if !stuck then Stuck { at = !cur; hops = !hops }
+    else
+      Delivered
+        {
+          path = List.rev !path;
+          hops = !hops;
+          greedy_hops = !greedy_hops;
+          face_hops = !face_hops;
+          recoveries = !recoveries;
+        }
+  end
+
+let route_batch ?pool t pairs =
+  let nq = Array.length pairs in
+  let out = Array.make nq Unreachable in
+  (match pool with
+  | None ->
+      for i = 0 to nq - 1 do
+        let s, d = pairs.(i) in
+        out.(i) <- route t s d
+      done
+  | Some p ->
+      Pool.run p ~tasks:nq (fun i ->
+          let s, d = pairs.(i) in
+          out.(i) <- route t s d));
+  out

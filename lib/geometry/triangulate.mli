@@ -1,0 +1,76 @@
+(** Planarity-preserving triangulation of an embedded graph.
+
+    The geometry pipeline (DESIGN.md §14) starts here: a rotation system —
+    the embedder's or the LR kernel's output — is completed to a {e maximal}
+    planar graph whose every face is a triangle, because that is the input
+    the Schnyder-wood coordinate construction ({!Schnyder}) requires. The
+    completion happens in three planarity-preserving passes on a mutable
+    half-edge copy of the rotation:
+
+    + {e connect}: components beyond the first are attached with one
+      bridge edge each (any insertion point keeps genus 0);
+    + {e biconnect}: at every vertex, rotation-consecutive neighbors lying
+      in different biconnected components are joined, which is always a
+      fresh edge (an existing edge would already have merged the blocks)
+      and leaves every face a simple cycle;
+    + {e triangulate}: each face of length [> 3] is split by fan diagonals,
+      shifting the fan apex by one when the wanted chord already exists on
+      the far side of the face (the two candidate chords interleave on the
+      face cycle, so at most one of them can be present in a planar graph).
+
+    Every edge added by any pass is {e virtual}: it exists so that the
+    triangulation is well-formed, carries no capacity in the original
+    network, and is tagged so that the routing layer ({!Route}) never
+    traverses or reports it. The original graph's edges and the cyclic
+    order of its rotation survive verbatim — the input rotation is the
+    restriction of the output rotation to the original edges — so a
+    straight-line drawing of the triangulation restricts to a straight-line
+    drawing of the input embedding.
+
+    The accepted result is re-validated with the face-tracing Euler check
+    (the same discipline as the LR kernel): an internal inconsistency
+    raises rather than silently emitting a bad triangulation. *)
+
+type t
+(** A triangulation of an embedded input graph, with its virtual-edge
+    tags. *)
+
+val make : Rotation.t -> t
+(** [make r] triangulates the embedded graph of [r].
+
+    For [n >= 3] the result is a maximal planar graph ([3n - 6] edges,
+    every face a triangle, connected even if the input was not). For
+    [n <= 2] there is nothing to triangulate: the result is the input
+    graph (plus a connecting virtual edge when [n = 2] and the vertices
+    are isolated), and {!graph} simply echoes it.
+
+    @raise Invalid_argument if [r] is not a planar rotation system
+    (genus > 0). *)
+
+val graph : t -> Gr.t
+(** The triangulated graph: the input vertices, the input edges, and the
+    virtual fill edges. *)
+
+val rotation : t -> Rotation.t
+(** The planar rotation system of {!graph}. Restricted to the input
+    edges it coincides with the input rotation (same cyclic orders). *)
+
+val source : t -> Rotation.t
+(** The input rotation system, as given to {!make}. *)
+
+val virtual_count : t -> int
+(** Number of virtual (added) edges: [Gr.m (graph t) - Gr.m] of the
+    input. *)
+
+val is_virtual : t -> int -> int -> bool
+(** [is_virtual t u v] is [true] iff [{u, v}] is an edge of {!graph} that
+    was added by the triangulation (i.e. is not an input edge).
+    @raise Not_found if [{u, v}] is not an edge of {!graph}. *)
+
+val virtual_mask : t -> bool array
+(** Per-edge tags indexed by {!Gr.edge_index} of {!graph}: [true] for
+    virtual fill edges. The array is owned by [t]; callers must not
+    mutate it. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line human summary: vertex, edge and virtual-edge counts. *)

@@ -1,0 +1,299 @@
+(* Geometry pipeline tests (ISSUE 8).
+
+   Three layers, in dependency order: the triangulation (planarity
+   preserved, maximal, input rotation intact as a cyclic subsequence),
+   the Schnyder drawing (grid bounds, distinct points, orientation
+   validity, exhaustive no-crossing oracle on small inputs), and the
+   face-routing engine (every random query on every planar family is
+   Delivered over real edges — or Unreachable exactly when the
+   endpoints sit in different components). *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let embed_exn g =
+  match Planarity.embed g with
+  | Planarity.Planar r -> r
+  | Planarity.Nonplanar -> Alcotest.fail "family is planar but embed refused"
+
+let families =
+  [
+    ("k4", Gen.complete 4);
+    ("path", Gen.path 17);
+    ("cycle", Gen.cycle 14);
+    ("star", Gen.star 9);
+    ("wheel", Gen.wheel 11);
+    ("ladder", Gen.ladder 8);
+    ("fan", Gen.fan 9);
+    ("grid", Gen.grid 6 7);
+    ("trigrid", Gen.triangular_grid 5 6);
+    ("bintree", Gen.binary_tree 31);
+    ("k4subdiv", Gen.k4_subdivision 4);
+    ("maxplanar", Gen.random_maximal_planar ~seed:11 60);
+    ("planar", Gen.random_planar ~seed:13 ~n:70 ~m:120);
+    ("outerplanar", Gen.random_outerplanar ~seed:7 ~n:40 ~chord_prob:0.3);
+    ("randtree", Gen.random_tree ~seed:5 40);
+  ]
+
+let disconnected =
+  let base = Gen.grid 4 4 in
+  let es = Gr.edges base in
+  let shifted = List.map (fun (u, v) -> (u + 16, v + 16)) es in
+  Gr.of_edges ~n:32 (es @ shifted)
+
+(* ------------------------------------------------------------------ *)
+(* Triangulation                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The input rotation at every vertex must survive as a cyclic
+   subsequence of the output rotation restricted to real edges. *)
+let rotation_preserved r tri =
+  let g = Rotation.graph r in
+  let r' = Triangulate.rotation tri in
+  let ok = ref true in
+  for v = 0 to Gr.n g - 1 do
+    let old_rot = Rotation.rotation r v in
+    let real =
+      Array.to_list (Rotation.rotation r' v)
+      |> List.filter (fun u -> Gr.mem_edge g v u)
+      |> Array.of_list
+    in
+    let d = Array.length old_rot in
+    if d <> Array.length real then ok := false
+    else if d > 0 then begin
+      let shift = ref (-1) in
+      for s = 0 to d - 1 do
+        let all = ref true in
+        for i = 0 to d - 1 do
+          if real.((s + i) mod d) <> old_rot.(i) then all := false
+        done;
+        if !all then shift := s
+      done;
+      if !shift < 0 then ok := false
+    end
+  done;
+  !ok
+
+let test_triangulate_families () =
+  List.iter
+    (fun (name, g) ->
+      let r = embed_exn g in
+      let tri = Triangulate.make r in
+      let g' = Triangulate.graph tri in
+      let n = Gr.n g' in
+      check_bool (name ^ ": output is planar") true
+        (Rotation.is_planar_embedding (Triangulate.rotation tri));
+      if n >= 3 then
+        check (name ^ ": maximal planar edge count") ((3 * n) - 6) (Gr.m g');
+      check
+        (name ^ ": virtual count")
+        (Gr.m g' - Gr.m g)
+        (Triangulate.virtual_count tri);
+      check_bool (name ^ ": rotation preserved") true (rotation_preserved r tri))
+    (("two-grids", disconnected) :: families)
+
+let test_triangulate_tiny () =
+  List.iter
+    (fun n ->
+      let g = Gr.of_edges ~n [] in
+      let r = embed_exn g in
+      let tri = Triangulate.make r in
+      check
+        (Printf.sprintf "n=%d vertex count" n)
+        n
+        (Gr.n (Triangulate.graph tri)))
+    [ 0; 1; 2 ];
+  (* isolated vertices alongside an edge *)
+  let g = Gr.of_edges ~n:5 [ (0, 1) ] in
+  let tri = Triangulate.make (embed_exn g) in
+  check "isolated: maximal" ((3 * 5) - 6) (Gr.m (Triangulate.graph tri))
+
+let test_triangulate_rejects_nonplanar () =
+  (* A K5 rotation system is planar as a map on some surface but not
+     genus 0; Triangulate.make must refuse it. *)
+  let g = Gen.complete 5 in
+  let rot =
+    Array.init 5 (fun v ->
+        Array.of_list (List.filter (fun u -> u <> v) [ 0; 1; 2; 3; 4 ]))
+  in
+  let r = Rotation.make g rot in
+  Alcotest.check_raises "nonplanar rotation refused"
+    (Invalid_argument "Triangulate.make: rotation system is not planar")
+    (fun () -> ignore (Triangulate.make r))
+
+(* ------------------------------------------------------------------ *)
+(* Schnyder drawing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_drawing_families () =
+  List.iter
+    (fun (name, g) ->
+      let r = embed_exn g in
+      let sch = Schnyder.draw r in
+      let x, y = Schnyder.coords sch in
+      let n = Gr.n g in
+      let side = Schnyder.grid_side sch in
+      if n >= 3 then check (name ^ ": grid side") (n - 2) side;
+      check_bool (name ^ ": within grid") true (Drawing.within_grid ~x ~y ~side);
+      check_bool (name ^ ": distinct points") true (Drawing.distinct ~x ~y);
+      if n >= 3 then
+        check_bool (name ^ ": orientation-valid") true
+          (Drawing.valid_triangulation_drawing
+             (Triangulate.rotation (Schnyder.triangulation sch))
+             ~x ~y);
+      (* The exhaustive O(m^2) oracle on the real graph's drawing: a
+         sub-drawing of a plane drawing is plane. *)
+      if Gr.m g <= 200 then
+        check_bool (name ^ ": no crossings (exhaustive)") true
+          (Drawing.first_crossing g ~x ~y = None))
+    (("two-grids", disconnected) :: families)
+
+let test_schnyder_trees () =
+  (* Interior vertices have three distinct parents; roots have none in
+     their own tree; every tree reaches its root. *)
+  let g = Gen.random_maximal_planar ~seed:3 80 in
+  let sch = Schnyder.draw (embed_exn g) in
+  let r0, r1, r2 = Schnyder.roots sch in
+  let roots = [| r0; r1; r2 |] in
+  let n = Gr.n g in
+  for i = 0 to 2 do
+    check (Printf.sprintf "root %d is its own tree's root" i) (-1)
+      (Schnyder.parent sch i roots.(i))
+  done;
+  for v = 0 to n - 1 do
+    if v <> r0 && v <> r1 && v <> r2 then
+      for i = 0 to 2 do
+        let steps = ref 0 and u = ref v in
+        while !u >= 0 && !steps <= n do
+          u := Schnyder.parent sch i !u;
+          incr steps
+        done;
+        check_bool
+          (Printf.sprintf "tree %d from %d terminates" i v)
+          true (!steps <= n)
+      done
+  done
+
+(* Seeded sweep as a QCheck property: any planar graph family member
+   drawn by the pipeline is a plane drawing. *)
+let prop_drawing_plane =
+  QCheck.Test.make ~count:40 ~name:"random planar graphs draw plane"
+    QCheck.(pair (int_bound 1000) (int_range 4 60))
+    (fun (seed, n) ->
+      let g =
+        if seed mod 2 = 0 then Gen.random_maximal_planar ~seed n
+        else Gen.random_planar ~seed ~n ~m:(min ((3 * n) - 6) (2 * n))
+      in
+      match Planarity.embed g with
+      | Planarity.Nonplanar -> false
+      | Planarity.Planar r ->
+          let sch = Schnyder.draw r in
+          let x, y = Schnyder.coords sch in
+          Drawing.within_grid ~x ~y ~side:(Schnyder.grid_side sch)
+          && Drawing.distinct ~x ~y
+          && Drawing.first_crossing g ~x ~y = None)
+
+(* ------------------------------------------------------------------ *)
+(* Routing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let valid_path g src dst path =
+  let rec edges_ok = function
+    | a :: (b :: _ as tl) -> Gr.mem_edge g a b && edges_ok tl
+    | _ -> true
+  in
+  (match path with v :: _ -> v = src | [] -> false)
+  && (match List.rev path with v :: _ -> v = dst | [] -> false)
+  && edges_ok path
+
+let test_routing_delivers () =
+  List.iter
+    (fun (name, g) ->
+      let e = Route.make (Schnyder.draw (embed_exn g)) in
+      let n = Gr.n g in
+      let rng = Random.State.make [| 97; n |] in
+      for _ = 1 to 60 do
+        let src = Random.State.int rng n and dst = Random.State.int rng n in
+        match Route.route e src dst with
+        | Route.Delivered { path; hops; greedy_hops; face_hops; _ } ->
+            check_bool (name ^ ": path valid") true (valid_path g src dst path);
+            check (name ^ ": hops = path length") (List.length path - 1) hops;
+            check (name ^ ": hop split") hops (greedy_hops + face_hops);
+            let dist = (Traverse.distances g src).(dst) in
+            check_bool (name ^ ": stretch >= 1") true (hops >= dist)
+        | Route.Unreachable ->
+            let dist = (Traverse.distances g src).(dst) in
+            check_bool (name ^ ": unreachable is real") true
+              (dist < 0 && src <> dst)
+        | Route.Stuck { at; hops } ->
+            Alcotest.fail
+              (Printf.sprintf "%s: stuck %d->%d at %d after %d hops" name src
+                 dst at hops)
+      done)
+    (("two-grids", disconnected) :: families)
+
+let test_routing_edge_cases () =
+  let g = Gen.grid 5 5 in
+  let e = Route.make (Schnyder.draw (embed_exn g)) in
+  (match Route.route e 7 7 with
+  | Route.Delivered { path; hops; _ } ->
+      check "src=dst path" 1 (List.length path);
+      check "src=dst hops" 0 hops
+  | _ -> Alcotest.fail "src=dst must deliver");
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Route.route: vertex out of range") (fun () ->
+      ignore (Route.route e 0 25));
+  (* different components are Unreachable, same component delivers *)
+  let e2 = Route.make (Schnyder.draw (embed_exn disconnected)) in
+  (match Route.route e2 0 17 with
+  | Route.Unreachable -> ()
+  | _ -> Alcotest.fail "cross-component must be Unreachable");
+  match Route.route e2 16 31 with
+  | Route.Delivered _ -> ()
+  | _ -> Alcotest.fail "same component must deliver"
+
+let test_batch_matches_serial () =
+  let g = Gen.random_maximal_planar ~seed:19 300 in
+  let e = Route.make (Schnyder.draw (embed_exn g)) in
+  let rng = Random.State.make [| 5; 300 |] in
+  let pairs =
+    Array.init 200 (fun _ ->
+        (Random.State.int rng 300, Random.State.int rng 300))
+  in
+  let serial = Route.route_batch e pairs in
+  let pool = Pool.create ~domains:4 () in
+  let batched = Route.route_batch ~pool e pairs in
+  Pool.shutdown pool;
+  Array.iteri
+    (fun i o ->
+      check_bool
+        (Printf.sprintf "query %d identical" i)
+        true (o = serial.(i)))
+    batched
+
+let () =
+  Alcotest.run "geometry"
+    [
+      ( "triangulate",
+        [
+          Alcotest.test_case "families" `Quick test_triangulate_families;
+          Alcotest.test_case "tiny and isolated" `Quick test_triangulate_tiny;
+          Alcotest.test_case "nonplanar refused" `Quick
+            test_triangulate_rejects_nonplanar;
+        ] );
+      ( "drawing",
+        [
+          Alcotest.test_case "families" `Quick test_drawing_families;
+          Alcotest.test_case "schnyder trees" `Quick test_schnyder_trees;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "delivery on all families" `Quick
+            test_routing_delivers;
+          Alcotest.test_case "edge cases" `Quick test_routing_edge_cases;
+          Alcotest.test_case "batch matches serial" `Quick
+            test_batch_matches_serial;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_drawing_plane ] );
+    ]
