@@ -847,6 +847,107 @@ let route_cmd =
           routing over real edges only.")
     term
 
+let churn_cmd =
+  let updates_t =
+    Arg.(
+      value & opt int 1000
+      & info [ "updates" ] ~doc:"Number of churn updates to replay.")
+  in
+  let insert_pct_t =
+    Arg.(
+      value & opt int 60
+      & info [ "insert-pct" ]
+          ~doc:"Percentage of updates that are insertions (0-100).")
+  in
+  let fresh_t =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fresh-prob" ]
+          ~doc:
+            "Probability that an insert proposes a random non-pool pair \
+             (exercises the non-planarity rejection path).")
+  in
+  let hold_t =
+    Arg.(
+      value & opt float 0.3
+      & info [ "hold" ]
+          ~doc:"Fraction of the pool edges held out of the initial graph.")
+  in
+  let trace_seed_t =
+    Arg.(
+      value & opt int 7
+      & info [ "trace-seed" ] ~doc:"Seed of the churn trace generator.")
+  in
+  let verify_t =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Re-check the final embedding: Euler genus plus, when the \
+             graph is connected, a full certificate round-trip.")
+  in
+  let run family n rows cols seglen seed m chord updates insert_pct fresh hold
+      tseed verify =
+    let g = make_graph family n rows cols seglen seed m chord in
+    graph_summary g;
+    let tr =
+      try
+        Churn.make ~seed:tseed ~updates ~insert_pct ~fresh_prob:fresh ~hold g
+      with Invalid_argument msg ->
+        Printf.eprintf "churn: %s\n" msg;
+        exit 2
+    in
+    let g0 = Churn.initial_graph tr in
+    let inc =
+      try Incremental.create g0
+      with Invalid_argument msg ->
+        Printf.eprintf "churn: %s\n" msg;
+        exit 2
+    in
+    let t0 = Unix.gettimeofday () in
+    Churn.replay inc tr;
+    let wall = Unix.gettimeofday () -. t0 in
+    Printf.printf "trace            : %d updates (%d%% inserts, fresh %.2f, \
+                   hold %.2f, seed %d)\n"
+      updates insert_pct fresh hold tseed;
+    Printf.printf "initial edges    : %d of %d pool edges\n"
+      (List.length tr.Churn.initial)
+      (Gr.m g);
+    Printf.printf "replay           : %.3fs (%.0f updates/s)\n" wall
+      (float_of_int updates /. max 1e-9 wall);
+    Format.printf "%a@." Incremental.pp_stats (Incremental.stats inc);
+    Printf.printf "final edges      : %d\n" (Incremental.m inc);
+    if verify then begin
+      let euler_ok = Incremental.validate inc in
+      Printf.printf "euler check      : %s\n"
+        (if euler_ok then "passed" else "FAILED");
+      let r = Incremental.rotation inc in
+      let cert_line =
+        if Incremental.m inc = 0 then "skipped (no edges)"
+        else if not (Traverse.is_connected (Rotation.graph r)) then
+          "skipped (graph is disconnected)"
+        else if (Certify.verify r (Certify.prove r)).Certify.all_accept then
+          "accepted"
+        else "REJECTED"
+      in
+      Printf.printf "certificate      : %s\n" cert_line;
+      if (not euler_ok) || cert_line = "REJECTED" then exit 1
+    end
+  in
+  let term =
+    Term.(
+      const run $ family_t $ n_t $ rows_t $ cols_t $ seglen_t $ seed_t $ m_t
+      $ chord_t $ updates_t $ insert_pct_t $ fresh_t $ hold_t $ trace_seed_t
+      $ verify_t)
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:
+         "Maintain the embedding incrementally under a seeded \
+          insert/delete trace (face-splice fast path, scoped kernel \
+          re-runs) and report the update-path breakdown.")
+    term
+
 let families_cmd =
   let run () = print_endline family_doc in
   Cmd.v (Cmd.info "families" ~doc:"List graph families.") Term.(const run $ const ())
@@ -859,4 +960,4 @@ let () =
   let info = Cmd.info "distplanar" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ embed_cmd; baseline_cmd; check_cmd; witness_cmd; separator_cmd;
-         trace_cmd; chaos_cmd; certify_cmd; route_cmd; families_cmd ]))
+         trace_cmd; chaos_cmd; certify_cmd; route_cmd; churn_cmd; families_cmd ]))

@@ -37,15 +37,14 @@ let () =
   ignore new_of_old;
   let dec = Bicon.decompose sub in
   Format.printf "biconnected components of P (Figure 4a):@.";
-  Array.iteri
-    (fun c edges ->
-      Format.printf "  component %d: edges %s@." c
-        (String.concat " "
-           (List.map
-              (fun (a, b) ->
-                Printf.sprintf "{%d,%d}" old_of_new.(a) old_of_new.(b))
-              edges)))
-    dec.Bicon.components;
+  for c = 0 to dec.Bicon.n_components - 1 do
+    Format.printf "  component %d: edges %s@." c
+      (String.concat " "
+         (List.map
+            (fun (a, b) ->
+              Printf.sprintf "{%d,%d}" old_of_new.(a) old_of_new.(b))
+            (Bicon.component_edges dec c)))
+  done;
   let cuts =
     List.filteri (fun v _ -> dec.Bicon.is_cut.(v)) (Array.to_list old_of_new)
   in

@@ -1,8 +1,13 @@
 type t = {
+  g : Gr.t;
   n_components : int;
   comp_of_edge : int array;
-  components : Gr.edge list array;
-  comps_of_vertex : int list array;
+  comp_edge_offsets : int array;
+  comp_edge_list : int array;
+  comp_vertex_offsets : int array;
+  comp_vertex_list : int array;
+  vertex_comp_offsets : int array;
+  vertex_comp_list : int array;
   is_cut : bool array;
 }
 
@@ -11,25 +16,22 @@ type t = {
    neighbor to examine, so deep graphs never overflow the OCaml stack. *)
 let decompose g =
   let n = Gr.n g in
+  let m = Gr.m g in
   let disc = Array.make n (-1) in
   let low = Array.make n 0 in
   let is_cut = Array.make n false in
-  let comp_of_edge = Array.make (Gr.m g) (-1) in
-  let components = ref [] in
+  let comp_of_edge = Array.make m (-1) in
   let n_components = ref 0 in
   let time = ref 0 in
   let edge_stack = Stack.create () in
   let pop_component u w =
     (* Pop edges down to and including (u, w); they form one component. *)
-    let comp = ref [] in
     let continue = ref true in
     while !continue do
       let (a, b) = Stack.pop edge_stack in
-      comp := (a, b) :: !comp;
       comp_of_edge.(Gr.edge_index g a b) <- !n_components;
       if (a, b) = Gr.normalize_edge u w then continue := false
     done;
-    components := !comp :: !components;
     incr n_components
   in
   for start = 0 to n - 1 do
@@ -74,51 +76,122 @@ let decompose g =
       if !root_children >= 2 then is_cut.(start) <- true
     end
   done;
-  let components = Array.of_list (List.rev !components) in
-  let comps_of_vertex = Array.make n [] in
-  Array.iteri
-    (fun c edges ->
-      let seen = Hashtbl.create 8 in
-      let touch v =
-        if not (Hashtbl.mem seen v) then begin
-          Hashtbl.replace seen v ();
-          comps_of_vertex.(v) <- c :: comps_of_vertex.(v)
-        end
-      in
-      List.iter
-        (fun (a, b) ->
-          touch a;
-          touch b)
-        edges)
-    components;
-  {
-    n_components = !n_components;
+  let k = !n_components in
+  (* Flat CSR membership: counting sort of the edges by component id. *)
+  let comp_edge_offsets = Array.make (k + 1) 0 in
+  Array.iter
+    (fun c -> comp_edge_offsets.(c + 1) <- comp_edge_offsets.(c + 1) + 1)
     comp_of_edge;
-    components;
-    comps_of_vertex;
+  for c = 1 to k do
+    comp_edge_offsets.(c) <- comp_edge_offsets.(c) + comp_edge_offsets.(c - 1)
+  done;
+  let comp_edge_list = Array.make m (-1) in
+  let fill = Array.copy comp_edge_offsets in
+  for e = 0 to m - 1 do
+    let c = comp_of_edge.(e) in
+    comp_edge_list.(fill.(c)) <- e;
+    fill.(c) <- fill.(c) + 1
+  done;
+  (* Vertex -> components, duplicate-free, via a last-seen-vertex stamp
+     per component (each edge is scanned from both endpoints). *)
+  let stamp = Array.make (max 1 k) (-1) in
+  let vertex_comp_offsets = Array.make (n + 1) 0 in
+  let count_by_vertex pass_list =
+    Array.fill stamp 0 (max 1 k) (-1);
+    for v = 0 to n - 1 do
+      Gr.iter_neighbors g v (fun u ->
+          let c = comp_of_edge.(Gr.edge_index g v u) in
+          if stamp.(c) <> v then begin
+            stamp.(c) <- v;
+            match pass_list with
+            | None ->
+                vertex_comp_offsets.(v + 1) <- vertex_comp_offsets.(v + 1) + 1
+            | Some (fill, list) ->
+                list.(fill.(v)) <- c;
+                fill.(v) <- fill.(v) + 1
+          end)
+    done
+  in
+  count_by_vertex None;
+  for v = 1 to n do
+    vertex_comp_offsets.(v) <- vertex_comp_offsets.(v) + vertex_comp_offsets.(v - 1)
+  done;
+  let vertex_comp_list = Array.make vertex_comp_offsets.(n) (-1) in
+  let vfill = Array.copy vertex_comp_offsets in
+  count_by_vertex (Some (vfill, vertex_comp_list));
+  (* Component -> vertices: invert the vertex -> component table. *)
+  let comp_vertex_offsets = Array.make (k + 1) 0 in
+  Array.iter
+    (fun c -> comp_vertex_offsets.(c + 1) <- comp_vertex_offsets.(c + 1) + 1)
+    vertex_comp_list;
+  for c = 1 to k do
+    comp_vertex_offsets.(c) <- comp_vertex_offsets.(c) + comp_vertex_offsets.(c - 1)
+  done;
+  let comp_vertex_list = Array.make vertex_comp_offsets.(n) (-1) in
+  let cfill = Array.copy comp_vertex_offsets in
+  for v = 0 to n - 1 do
+    for i = vertex_comp_offsets.(v) to vertex_comp_offsets.(v + 1) - 1 do
+      let c = vertex_comp_list.(i) in
+      comp_vertex_list.(cfill.(c)) <- v;
+      cfill.(c) <- cfill.(c) + 1
+    done
+  done;
+  {
+    g;
+    n_components = k;
+    comp_of_edge;
+    comp_edge_offsets;
+    comp_edge_list;
+    comp_vertex_offsets;
+    comp_vertex_list;
+    vertex_comp_offsets;
+    vertex_comp_list;
     is_cut;
   }
 
-let paper_component_id t c =
-  match List.sort compare t.components.(c) with
-  | [] -> invalid_arg "Bicon.paper_component_id: empty component"
-  | e :: _ -> e
+let n_component_edges t c = t.comp_edge_offsets.(c + 1) - t.comp_edge_offsets.(c)
+
+let iter_component_edges t c f =
+  for i = t.comp_edge_offsets.(c) to t.comp_edge_offsets.(c + 1) - 1 do
+    f t.comp_edge_list.(i)
+  done
+
+let component_edges t c =
+  let out = ref [] in
+  for i = t.comp_edge_offsets.(c + 1) - 1 downto t.comp_edge_offsets.(c) do
+    out := Gr.edge_of_index t.g t.comp_edge_list.(i) :: !out
+  done;
+  !out
+
+let iter_component_vertices t c f =
+  for i = t.comp_vertex_offsets.(c) to t.comp_vertex_offsets.(c + 1) - 1 do
+    f t.comp_vertex_list.(i)
+  done
 
 let component_vertices t c =
-  let seen = Hashtbl.create 8 in
   let out = ref [] in
-  let touch v =
-    if not (Hashtbl.mem seen v) then begin
-      Hashtbl.replace seen v ();
-      out := v :: !out
-    end
-  in
-  List.iter
-    (fun (a, b) ->
-      touch a;
-      touch b)
-    t.components.(c);
-  List.rev !out
+  for i = t.comp_vertex_offsets.(c + 1) - 1 downto t.comp_vertex_offsets.(c) do
+    out := t.comp_vertex_list.(i) :: !out
+  done;
+  !out
+
+let n_comps_of_vertex t v = t.vertex_comp_offsets.(v + 1) - t.vertex_comp_offsets.(v)
+
+let comps_of_vertex t v =
+  let out = ref [] in
+  for i = t.vertex_comp_offsets.(v + 1) - 1 downto t.vertex_comp_offsets.(v) do
+    out := t.vertex_comp_list.(i) :: !out
+  done;
+  !out
+
+let paper_component_id t c =
+  if n_component_edges t c = 0 then
+    invalid_arg "Bicon.paper_component_id: empty component";
+  let best = ref (Gr.edge_of_index t.g t.comp_edge_list.(t.comp_edge_offsets.(c))) in
+  iter_component_edges t c (fun e ->
+      let id = Gr.edge_of_index t.g e in
+      if id < !best then best := id);
+  !best
 
 type block_cut_tree = {
   block_node : int array;
@@ -137,8 +210,9 @@ let block_cut_tree _g t =
         let node = !next in
         incr next;
         cut_node := (v, node) :: !cut_node;
-        List.iter (fun c -> edges := (node, block_node.(c)) :: !edges)
-          t.comps_of_vertex.(v)
+        for i = t.vertex_comp_offsets.(v) to t.vertex_comp_offsets.(v + 1) - 1 do
+          edges := (node, block_node.(t.vertex_comp_list.(i))) :: !edges
+        done
       end)
     t.is_cut;
   { block_node; cut_node = List.rev !cut_node; tree = Gr.of_edges ~n:!next !edges }

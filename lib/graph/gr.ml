@@ -28,33 +28,9 @@ let check_vertex n v =
   if v < 0 || v >= n then
     invalid_arg (Printf.sprintf "Gr: vertex %d out of range [0, %d)" v n)
 
-let of_edges ~n edges =
-  let raw =
-    Array.of_list
-      (List.map
-         (fun (u, v) ->
-           check_vertex n u;
-           check_vertex n v;
-           normalize_edge u v)
-         edges)
-  in
-  Array.sort compare raw;
-  let m =
-    let cnt = ref 0 in
-    Array.iteri
-      (fun i e -> if i = 0 || raw.(i - 1) <> e then incr cnt)
-      raw;
-    !cnt
-  in
-  let edge_list = Array.make m (0, 0) in
-  let j = ref 0 in
-  Array.iteri
-    (fun i e ->
-      if i = 0 || raw.(i - 1) <> e then begin
-        edge_list.(!j) <- e;
-        incr j
-      end)
-    raw;
+(* CSR assembly from a lex-sorted, duplicate-free, normalized edge
+   array; the array is kept as [edge_list] (ownership transfers). *)
+let of_edge_list_owned ~n edge_list =
   let xadj = Array.make (n + 1) 0 in
   Array.iter
     (fun (u, v) ->
@@ -91,6 +67,37 @@ let of_edges ~n edges =
     Array.init n (fun v -> Array.sub adjncy xadj.(v) (xadj.(v + 1) - xadj.(v)))
   in
   { n; xadj; adjncy; dart_uedge; dart_rev; edge_list; adj }
+
+let of_edges ~n edges =
+  let raw =
+    Array.of_list
+      (List.map
+         (fun (u, v) ->
+           check_vertex n u;
+           check_vertex n v;
+           normalize_edge u v)
+         edges)
+  in
+  Array.sort compare raw;
+  let m =
+    let cnt = ref 0 in
+    Array.iteri
+      (fun i e -> if i = 0 || raw.(i - 1) <> e then incr cnt)
+      raw;
+    !cnt
+  in
+  let edge_list = Array.make m (0, 0) in
+  let j = ref 0 in
+  Array.iteri
+    (fun i e ->
+      if i = 0 || raw.(i - 1) <> e then begin
+        edge_list.(!j) <- e;
+        incr j
+      end)
+    raw;
+  of_edge_list_owned ~n edge_list
+
+let of_normalized_sorted_unchecked ~n edge_list = of_edge_list_owned ~n edge_list
 
 let empty n = of_edges ~n []
 let n t = t.n

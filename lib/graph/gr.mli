@@ -25,6 +25,16 @@ val of_edges : n:int -> (int * int) list -> t
     edges. Duplicate edges are collapsed.
     @raise Invalid_argument on self-loops or out-of-range endpoints. *)
 
+val of_normalized_sorted_unchecked : n:int -> edge array -> t
+(** CSR assembly from an edge array the caller guarantees is already
+    normalized ([u < v]), lexicographically sorted, duplicate-free, and
+    in range — the O(m log m) polymorphic sort and dedup of
+    {!of_edges} are skipped and the array is owned by the graph
+    afterwards. The incremental maintainer's scoped re-runs sit on this
+    path: it rebuilds a scope subgraph per update, where the generic
+    constructor's sort dominated the kernel itself. Violating the
+    contract silently corrupts the dart tables. *)
+
 val empty : int -> t
 (** [empty n] is the edgeless graph on [n] vertices. *)
 

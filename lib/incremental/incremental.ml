@@ -1,0 +1,657 @@
+(* Dynamic maintenance of a planar rotation system under edge churn.
+
+   The maintained state is a mutable half-edge store over the fixed vertex
+   set [0 .. n-1]: edge slot [e] owns darts [2e] (u -> v) and [2e+1]
+   (v -> u); [rnext]/[rprev] link each vertex's out-darts into its cyclic
+   clockwise ring. The face-routing permutation of Rotation is implicit:
+   [face_next d = rnext.(d lxor 1)], so face walks never materialize
+   anything. The invariant held between every two operations is that the
+   rings form a genus-0 rotation system of the current live edge set.
+
+   Updates:
+   - insert, fast path: if the endpoints share a face of the current
+     embedding, the new darts are spliced into that face's two corners in
+     O(total length of the faces at the smaller-degree endpoint) — the
+     kernel never runs.
+   - insert, slow path: otherwise the affected biconnected components
+     (everything along one endpoint-to-endpoint path, by the maintained
+     conservative component records) are re-fed through the planarity
+     kernel as one small graph; on acceptance the component's fresh
+     rotation is merged back into the global rings in place (non-scope
+     darts keep their relative cyclic order, the scope's darts take the
+     kernel's), on rejection the state is untouched.
+   - delete: O(degree) unsplicing — removing an edge from a plane
+     embedding merges its two sides and stays plane, so no kernel run is
+     needed for correctness. What deletion does break is the component
+     records: union-find cannot split, so records go stale-conservative
+     (a stored component is always a union of true biconnected
+     components) and are re-tightened by a scoped Tarjan re-decomposition
+     once a record has shed as many edges as it retains (amortized O(1)
+     per delete).
+
+   Component records live in a union-find-with-relations keyed by slots;
+   each root's relation is an interval edge-set of its live slots plus a
+   staleness counter. Connectivity is tracked by a merge-only vertex
+   union-find, equally conservative: "different components" is always
+   true, "same component" is re-checked by the slow path's BFS (whose
+   failure downgrades the insert to a cheap cross-component link). *)
+
+type payload = { edges : Intervalset.t; mutable scoured : int }
+
+type stats = {
+  mutable fast : int;
+  mutable linked : int;
+  mutable reembedded : int;
+  mutable rejected : int;
+  mutable duplicates : int;
+  mutable deletes : int;
+  mutable missing : int;
+  mutable rescopes : int;
+  mutable kernel_edges : int;
+  mutable face_steps : int;
+}
+
+type update = Fast | Linked | Reembedded of int | Rejected | Duplicate
+
+type t = {
+  n : int;
+  kernel : Planarity.kernel;
+  mutable cap : int;  (* edge slots allocated *)
+  mutable dst : int array;  (* 2*cap: head of each dart; -1 = free slot *)
+  mutable rnext : int array;  (* 2*cap: ring successor around the source *)
+  mutable rprev : int array;
+  first_out : int array;  (* n: one out-dart per vertex, or -1 *)
+  deg : int array;
+  mutable live : int;  (* live edges *)
+  edge_tbl : (int, int) Hashtbl.t;  (* min*n+max -> slot *)
+  mutable free : int list;
+  mutable next_slot : int;
+  comps : payload Relations.t;
+  mutable slot_comp : int array;  (* cap: Relations node per slot *)
+  conn : Unionfind.t;
+  (* scratch (stamped, reused across operations) *)
+  mutable dart_stamp : int array;  (* 2*cap *)
+  mutable stamp : int;
+  vmark : int array;  (* n *)
+  vdata : int array;  (* n: BFS parent dart / local vertex id *)
+  mutable vstamp : int;
+  queue : int array;  (* n *)
+  stats : stats;
+}
+
+let n t = t.n
+let m t = t.live
+let stats t = t.stats
+let kernel t = t.kernel
+
+let fresh_stats () =
+  {
+    fast = 0;
+    linked = 0;
+    reembedded = 0;
+    rejected = 0;
+    duplicates = 0;
+    deletes = 0;
+    missing = 0;
+    rescopes = 0;
+    kernel_edges = 0;
+    face_steps = 0;
+  }
+
+let key t u v = if u < v then (u * t.n) + v else (v * t.n) + u
+let mem t u v = u <> v && Hashtbl.mem t.edge_tbl (key t u v)
+
+(* The dart w -> x of the existing edge {w, x}. *)
+let dart_to t w x =
+  let e = Hashtbl.find t.edge_tbl (key t w x) in
+  if t.dst.(2 * e) = x then 2 * e else (2 * e) + 1
+
+let dart_src t d = t.dst.(d lxor 1)
+let face_next t d = t.rnext.(d lxor 1)
+
+(* --- slot allocation ------------------------------------------------- *)
+
+let grow t =
+  let cap = 2 * t.cap in
+  let dst = Array.make (2 * cap) (-1)
+  and rnext = Array.make (2 * cap) (-1)
+  and rprev = Array.make (2 * cap) (-1)
+  and dart_stamp = Array.make (2 * cap) 0
+  and slot_comp = Array.make cap (-1) in
+  Array.blit t.dst 0 dst 0 (2 * t.cap);
+  Array.blit t.rnext 0 rnext 0 (2 * t.cap);
+  Array.blit t.rprev 0 rprev 0 (2 * t.cap);
+  Array.blit t.dart_stamp 0 dart_stamp 0 (2 * t.cap);
+  Array.blit t.slot_comp 0 slot_comp 0 t.cap;
+  t.dst <- dst;
+  t.rnext <- rnext;
+  t.rprev <- rprev;
+  t.dart_stamp <- dart_stamp;
+  t.slot_comp <- slot_comp;
+  t.cap <- cap
+
+let alloc_slot t u v =
+  let e =
+    match t.free with
+    | e :: rest ->
+        t.free <- rest;
+        e
+    | [] ->
+        if t.next_slot >= t.cap then grow t;
+        let e = t.next_slot in
+        t.next_slot <- e + 1;
+        e
+  in
+  t.dst.(2 * e) <- v;
+  t.dst.((2 * e) + 1) <- u;
+  Hashtbl.replace t.edge_tbl (key t u v) e;
+  t.deg.(u) <- t.deg.(u) + 1;
+  t.deg.(v) <- t.deg.(v) + 1;
+  t.live <- t.live + 1;
+  e
+
+let free_slot t e =
+  let u = t.dst.((2 * e) + 1) and v = t.dst.(2 * e) in
+  Hashtbl.remove t.edge_tbl (key t u v);
+  t.dst.(2 * e) <- -1;
+  t.dst.((2 * e) + 1) <- -1;
+  t.deg.(u) <- t.deg.(u) - 1;
+  t.deg.(v) <- t.deg.(v) - 1;
+  t.live <- t.live - 1;
+  t.free <- e :: t.free
+
+(* --- ring primitives -------------------------------------------------- *)
+
+let ring_insert_lonely t v d =
+  t.rnext.(d) <- d;
+  t.rprev.(d) <- d;
+  t.first_out.(v) <- d
+
+let ring_insert_after t dref d =
+  let nx = t.rnext.(dref) in
+  t.rnext.(dref) <- d;
+  t.rprev.(d) <- dref;
+  t.rnext.(d) <- nx;
+  t.rprev.(nx) <- d
+
+let ring_remove t v d =
+  if t.rnext.(d) = d then t.first_out.(v) <- -1
+  else begin
+    t.rnext.(t.rprev.(d)) <- t.rnext.(d);
+    t.rprev.(t.rnext.(d)) <- t.rprev.(d);
+    if t.first_out.(v) = d then t.first_out.(v) <- t.rnext.(d)
+  end
+
+(* --- construction ----------------------------------------------------- *)
+
+let payload_merge a b =
+  Intervalset.union_into ~dst:a.edges ~src:b.edges;
+  a.scoured <- a.scoured + b.scoured;
+  a
+
+let of_rotation ?(kernel = Planarity.default_kernel) r =
+  let g = Rotation.graph r in
+  let n = Gr.n g in
+  if not (Rotation.is_planar_embedding r) then
+    invalid_arg "Incremental.of_rotation: rotation is not a planar embedding";
+  let m0 = Gr.m g in
+  let cap = max 8 (max m0 (3 * n)) in
+  let t =
+    {
+      n;
+      kernel;
+      cap;
+      dst = Array.make (2 * cap) (-1);
+      rnext = Array.make (2 * cap) (-1);
+      rprev = Array.make (2 * cap) (-1);
+      first_out = Array.make (max 1 n) (-1);
+      deg = Array.make (max 1 n) 0;
+      live = 0;
+      edge_tbl = Hashtbl.create (max 16 (2 * m0));
+      free = [];
+      next_slot = 0;
+      comps = Relations.create ~merge:payload_merge ();
+      slot_comp = Array.make cap (-1);
+      conn = Unionfind.create (max 1 n);
+      dart_stamp = Array.make (2 * cap) 0;
+      stamp = 0;
+      vmark = Array.make (max 1 n) 0;
+      vdata = Array.make (max 1 n) (-1);
+      vstamp = 0;
+      queue = Array.make (max 1 n) 0;
+      stats = fresh_stats ();
+    }
+  in
+  (* Slot e = dense edge index e, so the initial component edge sets are
+     long runs. *)
+  for e = 0 to m0 - 1 do
+    let (a, b) = Gr.edge_of_index g e in
+    ignore (alloc_slot t a b);
+    ignore (Unionfind.union t.conn a b)
+  done;
+  for v = 0 to n - 1 do
+    let order = Rotation.rotation r v in
+    let deg = Array.length order in
+    if deg > 0 then begin
+      let prev = ref (dart_to t v order.(0)) in
+      t.first_out.(v) <- !prev;
+      for i = 1 to deg - 1 do
+        let d = dart_to t v order.(i) in
+        t.rnext.(!prev) <- d;
+        t.rprev.(d) <- !prev;
+        prev := d
+      done;
+      t.rnext.(!prev) <- t.first_out.(v);
+      t.rprev.(t.first_out.(v)) <- !prev
+    end
+  done;
+  let dec = Bicon.decompose g in
+  for c = 0 to dec.Bicon.n_components - 1 do
+    let es = Intervalset.create ~capacity:4 () in
+    Bicon.iter_component_edges dec c (fun e -> Intervalset.add es e);
+    let node = Relations.fresh t.comps { edges = es; scoured = 0 } in
+    Bicon.iter_component_edges dec c (fun e -> t.slot_comp.(e) <- node)
+  done;
+  t
+
+let create ?kernel g = of_rotation ?kernel (Planarity.embed_exn ?kernel g)
+
+(* --- materialization --------------------------------------------------- *)
+
+let live_edges t =
+  Hashtbl.fold
+    (fun _ e acc -> (t.dst.((2 * e) + 1), t.dst.(2 * e)) :: acc)
+    t.edge_tbl []
+
+let rotation t =
+  let g = Gr.of_edges ~n:t.n (live_edges t) in
+  let rot =
+    Array.init t.n (fun v ->
+        let deg = t.deg.(v) in
+        if deg = 0 then [||]
+        else begin
+          let out = Array.make deg (-1) in
+          let d = ref t.first_out.(v) in
+          for i = 0 to deg - 1 do
+            out.(i) <- t.dst.(!d);
+            d := t.rnext.(!d)
+          done;
+          out
+        end)
+  in
+  (* Every ring lists each neighbor exactly once by the store's invariant:
+     skip make's O(n + m) stamp validation (the satellite fast path). *)
+  Rotation.unsafe_of_validated g rot
+
+let validate t = Rotation.is_planar_embedding (rotation t)
+
+(* --- component record maintenance -------------------------------------- *)
+
+(* Mint fresh exact component records for the slots of [gloc] (a local
+   graph whose vertex i is global [old_of_local.(i)]): one Relations node
+   per biconnected component of [gloc], each holding the sorted interval
+   set of its global slots. Callers abandon the stale roots themselves. *)
+let refresh_comps t gloc old_of_local =
+  let dec = Bicon.decompose gloc in
+  for c = 0 to dec.Bicon.n_components - 1 do
+    let k = Bicon.n_component_edges dec c in
+    let slots = Array.make (max 1 k) 0 in
+    let i = ref 0 in
+    Bicon.iter_component_edges dec c (fun de ->
+        let (la, lb) = Gr.edge_of_index gloc de in
+        slots.(!i) <-
+          Hashtbl.find t.edge_tbl (key t old_of_local.(la) old_of_local.(lb));
+        incr i);
+    let slots = if k = Array.length slots then slots else Array.sub slots 0 k in
+    Array.sort (fun (a : int) b -> compare a b) slots;
+    let es = Intervalset.create ~capacity:4 () in
+    Array.iter (Intervalset.add es) slots;
+    let node = Relations.fresh t.comps { edges = es; scoured = 0 } in
+    Array.iter (fun sl -> t.slot_comp.(sl) <- node) slots
+  done
+
+(* Local graph of a slot list (plus optionally one extra edge): assigns
+   local ids by vertex stamp; returns (gloc, old_of_local). *)
+let build_local t slots extra =
+  t.vstamp <- t.vstamp + 1;
+  let s = t.vstamp in
+  let nloc = ref 0 in
+  let verts = ref [] in
+  let lid w =
+    if t.vmark.(w) <> s then begin
+      t.vmark.(w) <- s;
+      t.vdata.(w) <- !nloc;
+      verts := w :: !verts;
+      incr nloc
+    end;
+    t.vdata.(w)
+  in
+  let count =
+    List.length slots + match extra with Some _ -> 1 | None -> 0
+  in
+  let las = Array.make (max 1 count) 0 and lbs = Array.make (max 1 count) 0 in
+  let idx = ref 0 in
+  let push a b =
+    let a, b = if a < b then (a, b) else (b, a) in
+    las.(!idx) <- a;
+    lbs.(!idx) <- b;
+    incr idx
+  in
+  List.iter
+    (fun sl -> push (lid t.dst.((2 * sl) + 1)) (lid t.dst.(2 * sl)))
+    slots;
+  (match extra with None -> () | Some (u, v) -> push (lid u) (lid v));
+  let k = !nloc in
+  let old_of_local = Array.make (max 1 k) (-1) in
+  List.iteri (fun i w -> old_of_local.(k - 1 - i) <- w) !verts;
+  (* Slots are distinct edges (and the extra pair is absent by the
+     caller's duplicate check), so the packed keys are unique: a
+     monomorphic int sort yields the normalized, lex-sorted,
+     duplicate-free array the unchecked CSR constructor wants —
+     the generic of_edges sort was the hottest non-kernel cost of a
+     scoped re-run. *)
+  let keys = Array.init count (fun i -> (las.(i) * k) + lbs.(i)) in
+  Array.sort (fun (a : int) b -> compare a b) keys;
+  let edge_arr = Array.map (fun key -> (key / k, key mod k)) keys in
+  (Gr.of_normalized_sorted_unchecked ~n:k edge_arr, old_of_local)
+
+(* Re-tighten one stale component record: scoped Tarjan re-decomposition
+   of its live slots, fresh exact records, stale root abandoned. *)
+let rescope t root =
+  t.stats.rescopes <- t.stats.rescopes + 1;
+  let pl = Relations.get t.comps root in
+  let slots = Intervalset.fold pl.edges ~init:[] ~f:(fun acc sl -> sl :: acc) in
+  (match slots with
+  | [] -> ()
+  | _ ->
+      let gloc, old_of_local = build_local t slots None in
+      refresh_comps t gloc old_of_local);
+  Relations.abandon t.comps root
+
+(* --- insertion --------------------------------------------------------- *)
+
+(* Cross-component (or isolated-endpoint) insertion: the two plane pieces
+   are joined by one bridge, spliced into an arbitrary corner at each
+   endpoint — always planar. *)
+let link_new t u v =
+  let d0u = t.first_out.(u) and d0v = t.first_out.(v) in
+  let e = alloc_slot t u v in
+  let p = 2 * e and q = (2 * e) + 1 in
+  if d0u < 0 then ring_insert_lonely t u p else ring_insert_after t d0u p;
+  if d0v < 0 then ring_insert_lonely t v q else ring_insert_after t d0v q;
+  let es = Intervalset.create ~capacity:1 () in
+  Intervalset.add es e;
+  let node = Relations.fresh t.comps { edges = es; scoured = 0 } in
+  t.slot_comp.(e) <- node;
+  ignore (Unionfind.union t.conn u v);
+  t.stats.linked <- t.stats.linked + 1;
+  Linked
+
+(* Walk the faces incident to [a] looking for a dart whose head is [b].
+   Returns (d0, dF): an out-dart of [a] and a dart into [b] on the same
+   face, or (-1, -1). Each face at [a] is walked once (dart stamps). *)
+let find_common_face t a b =
+  t.stamp <- t.stamp + 1;
+  let s = t.stamp in
+  let found_d0 = ref (-1) and found_df = ref (-1) in
+  let d0 = ref t.first_out.(a) in
+  let start = !d0 in
+  let continue = ref (start >= 0) in
+  while !continue do
+    if t.dart_stamp.(!d0) <> s then begin
+      (* Walk the face containing the out-dart !d0. *)
+      let d = ref !d0 in
+      let walking = ref true in
+      while !walking do
+        t.dart_stamp.(!d) <- s;
+        t.stats.face_steps <- t.stats.face_steps + 1;
+        if t.dst.(!d) = b && !found_d0 < 0 then begin
+          found_d0 := !d0;
+          found_df := !d
+        end;
+        d := face_next t !d;
+        if !d = !d0 then walking := false
+      done
+    end;
+    if !found_d0 >= 0 then continue := false
+    else begin
+      d0 := t.rnext.(!d0);
+      if !d0 = start then continue := false
+    end
+  done;
+  (!found_d0, !found_df)
+
+(* Fast path: splice the new edge into the face that contains the corner
+   before [d0] at its source and the corner after [dF] at [dF]'s head,
+   splitting that face in two. Also merges the component records along
+   the walked boundary segment (the new cycle passes through exactly
+   those blocks). *)
+let splice_into_face t u v d0 df =
+  let a = dart_src t d0 and b = t.dst.(df) in
+  (* Merge component records along the boundary segment d0 .. df before
+     the splice changes the face. *)
+  let root = ref (Relations.find t.comps t.slot_comp.(d0 / 2)) in
+  let d = ref d0 in
+  let continue = ref true in
+  while !continue do
+    root := Relations.union t.comps !root (t.slot_comp.(!d / 2));
+    if !d = df then continue := false else d := face_next t !d
+  done;
+  let e = alloc_slot t u v in
+  let p = dart_to t a b and q = dart_to t b a in
+  (* p goes right before d0 in a's ring (works for degree 1, where
+     rprev d0 = d0), q right after df's reversal in b's ring; both new
+     corners then lie on the face being split. *)
+  ring_insert_after t (t.rprev.(d0)) p;
+  ring_insert_after t (df lxor 1) q;
+  let pl = Relations.get t.comps !root in
+  Intervalset.add pl.edges e;
+  t.slot_comp.(e) <- Relations.find t.comps !root;
+  ignore (Unionfind.union t.conn u v);
+  t.stats.fast <- t.stats.fast + 1;
+  Fast
+
+(* BFS over the live rings from u towards v; returns true and leaves
+   parent darts in vdata if v was reached. *)
+let bfs_reaches t u v =
+  t.vstamp <- t.vstamp + 1;
+  let s = t.vstamp in
+  t.vmark.(u) <- s;
+  t.vdata.(u) <- -1;
+  t.queue.(0) <- u;
+  let head = ref 0 and tail = ref 1 in
+  let found = ref false in
+  while (not !found) && !head < !tail do
+    let w = t.queue.(!head) in
+    incr head;
+    let d0 = t.first_out.(w) in
+    if d0 >= 0 then begin
+      let d = ref d0 in
+      let continue = ref true in
+      while !continue do
+        let x = t.dst.(!d) in
+        if t.vmark.(x) <> s then begin
+          t.vmark.(x) <- s;
+          t.vdata.(x) <- !d;
+          if x = v then found := true
+          else begin
+            t.queue.(!tail) <- x;
+            incr tail
+          end
+        end;
+        d := t.rnext.(!d);
+        if !d = d0 then continue := false
+      done
+    end
+  done;
+  !found
+
+(* Slow path: scope = the union of the (conservative) component records
+   along one u-v path, re-fed through the kernel together with the new
+   edge. On acceptance the fresh rotation replaces the scope's darts in
+   the global rings (non-scope darts keep their old cyclic order behind
+   them — gluing whole blocks into one corner preserves genus 0); the
+   component records are re-minted exactly. On rejection nothing has
+   been written. *)
+let reembed_scope t u v =
+  (* Path slots from the BFS parent darts. *)
+  let roots = Hashtbl.create 16 in
+  let x = ref v in
+  while !x <> u do
+    let d = t.vdata.(!x) in
+    let r = Relations.find t.comps t.slot_comp.(d / 2) in
+    if not (Hashtbl.mem roots r) then Hashtbl.replace roots r ();
+    x := dart_src t d
+  done;
+  let scope = ref [] and scope_n = ref 0 in
+  Hashtbl.iter
+    (fun r () ->
+      Intervalset.iter (Relations.get t.comps r).edges (fun sl ->
+          scope := sl :: !scope;
+          incr scope_n))
+    roots;
+  let gloc, old_of_local = build_local t !scope (Some (u, v)) in
+  t.stats.kernel_edges <- t.stats.kernel_edges + Gr.m gloc;
+  match Planarity.embed ~kernel:t.kernel gloc with
+  | Planarity.Nonplanar ->
+      t.stats.rejected <- t.stats.rejected + 1;
+      Rejected
+  | Planarity.Planar rloc ->
+      let e = alloc_slot t u v in
+      (* Mark the scope's slots (including the new edge). *)
+      t.stamp <- t.stamp + 1;
+      let s = t.stamp in
+      List.iter (fun sl -> t.dart_stamp.(2 * sl) <- s) !scope;
+      t.dart_stamp.(2 * e) <- s;
+      (* Adding (u, v) merges exactly the biconnected components along
+         the path, so the merged record scope + e is as exact as its
+         inputs — the interval sets are unioned in O(runs) with no
+         re-decomposition (delete-staleness is inherited and repaired by
+         the rescope trigger). *)
+      let acc = ref None and scoured = ref 0 in
+      Hashtbl.iter
+        (fun r () ->
+          let pl = Relations.get t.comps r in
+          scoured := !scoured + pl.scoured;
+          (match !acc with
+          | None -> acc := Some pl.edges
+          | Some dst -> Intervalset.union_into ~dst ~src:pl.edges);
+          Relations.abandon t.comps r)
+        roots;
+      let es = match !acc with Some es -> es | None -> assert false in
+      Intervalset.add es e;
+      let node = Relations.fresh t.comps { edges = es; scoured = !scoured } in
+      List.iter (fun sl -> t.slot_comp.(sl) <- node) !scope;
+      t.slot_comp.(e) <- node;
+      (* Merge the fresh rotation back into the rings in place. The ring
+         walk that separates scope darts from the rest also caches each
+         scope dart under its head vertex (stamped scratch), so the
+         kernel-ordered pass resolves neighbor -> dart without hashing. *)
+      let nloc = Array.length old_of_local in
+      for i = 0 to nloc - 1 do
+        let w = old_of_local.(i) in
+        t.vstamp <- t.vstamp + 1;
+        let vs = t.vstamp in
+        let others = ref [] and n_others = ref 0 in
+        let d0 = t.first_out.(w) in
+        if d0 >= 0 then begin
+          let d = ref d0 in
+          let continue = ref true in
+          while !continue do
+            if t.dart_stamp.(2 * (!d / 2)) = s then begin
+              let x = t.dst.(!d) in
+              t.vmark.(x) <- vs;
+              t.vdata.(x) <- !d
+            end
+            else begin
+              others := !d :: !others;
+              incr n_others
+            end;
+            d := t.rnext.(!d);
+            if !d = d0 then continue := false
+          done
+        end;
+        (* The new edge's darts are allocated but not yet in any ring. *)
+        if w = u then begin
+          t.vmark.(v) <- vs;
+          t.vdata.(v) <- 2 * e
+        end
+        else if w = v then begin
+          t.vmark.(u) <- vs;
+          t.vdata.(u) <- (2 * e) + 1
+        end;
+        let others = List.rev !others in
+        let fresh_order = Rotation.rotation rloc i in
+        let nf = Array.length fresh_order in
+        let len = nf + !n_others in
+        let seq = Array.make len (-1) in
+        Array.iteri
+          (fun j lx ->
+            let x = old_of_local.(lx) in
+            assert (t.vmark.(x) = vs);
+            seq.(j) <- t.vdata.(x))
+          fresh_order;
+        List.iteri (fun j d -> seq.(nf + j) <- d) others;
+        for j = 0 to len - 1 do
+          let d = seq.(j) and nx = seq.((j + 1) mod len) in
+          t.rnext.(d) <- nx;
+          t.rprev.(nx) <- d
+        done;
+        t.first_out.(w) <- seq.(0)
+      done;
+      ignore (Unionfind.union t.conn u v);
+      t.stats.reembedded <- t.stats.reembedded + 1;
+      Reembedded (!scope_n + 1)
+
+let insert t u v =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n || u = v then
+    invalid_arg "Incremental.insert: bad endpoints";
+  if Hashtbl.mem t.edge_tbl (key t u v) then begin
+    t.stats.duplicates <- t.stats.duplicates + 1;
+    Duplicate
+  end
+  else if t.deg.(u) = 0 || t.deg.(v) = 0 then link_new t u v
+  else begin
+    (* Search from the endpoint with the smaller degree. *)
+    let a, b = if t.deg.(u) <= t.deg.(v) then (u, v) else (v, u) in
+    let d0, df = find_common_face t a b in
+    if d0 >= 0 then splice_into_face t u v d0 df
+    else if not (Unionfind.same t.conn u v) then link_new t u v
+    else if not (bfs_reaches t u v) then
+      (* Connectivity record was stale (deletions disconnect silently):
+         this is really a cross-component insert. *)
+      link_new t u v
+    else reembed_scope t u v
+  end
+
+(* --- deletion ----------------------------------------------------------- *)
+
+let delete t u v =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n || u = v then
+    invalid_arg "Incremental.delete: bad endpoints";
+  match Hashtbl.find_opt t.edge_tbl (key t u v) with
+  | None ->
+      t.stats.missing <- t.stats.missing + 1;
+      false
+  | Some e ->
+      let p = 2 * e and q = (2 * e) + 1 in
+      ring_remove t (dart_src t p) p;
+      ring_remove t (dart_src t q) q;
+      let root = Relations.find t.comps t.slot_comp.(e) in
+      let pl = Relations.get t.comps root in
+      Intervalset.remove pl.edges e;
+      pl.scoured <- pl.scoured + 1;
+      free_slot t e;
+      let remaining = Intervalset.cardinal pl.edges in
+      if remaining = 0 then Relations.abandon t.comps root
+      else if pl.scoured >= max 16 remaining then rescope t root;
+      t.stats.deletes <- t.stats.deletes + 1;
+      true
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>inserts: %d fast, %d linked, %d reembedded, %d rejected, %d \
+     duplicate@ deletes: %d (%d missing)@ rescopes: %d@ kernel edges: %d@ \
+     face-walk steps: %d@]"
+    s.fast s.linked s.reembedded s.rejected s.duplicates s.deletes s.missing
+    s.rescopes s.kernel_edges s.face_steps

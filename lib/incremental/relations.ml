@@ -1,0 +1,93 @@
+(* Union-find with relations: a disjoint-set forest over a growable
+   universe where every root carries a payload ("relation") that is
+   combined by a user merge function exactly when two sets join.
+
+   The incremental maintainer keeps one node per biconnected component;
+   the payload is the component's interval edge-set plus churn counters.
+   Components are born (fresh), merged (insertions create cycles), and
+   abandoned (scoped re-decompositions replace a stale root with fresh
+   exact ones) — the universe only ever grows, which is what keeps every
+   operation amortized near-constant: splitting is never needed because
+   the maintainer re-scopes instead. *)
+
+type 'a t = {
+  mutable parent : int array;
+  mutable rank : int array;
+  mutable payload : 'a option array;  (* Some at roots, None elsewhere. *)
+  mutable len : int;
+  merge : 'a -> 'a -> 'a;  (* winner's payload first; result kept at root *)
+}
+
+let create ?(capacity = 16) ~merge () =
+  let capacity = max 1 capacity in
+  {
+    parent = Array.make capacity (-1);
+    rank = Array.make capacity 0;
+    payload = Array.make capacity None;
+    len = 0;
+    merge;
+  }
+
+let length t = t.len
+
+let ensure t =
+  if t.len >= Array.length t.parent then begin
+    let cap = 2 * Array.length t.parent in
+    let parent = Array.make cap (-1)
+    and rank = Array.make cap 0
+    and payload = Array.make cap None in
+    Array.blit t.parent 0 parent 0 t.len;
+    Array.blit t.rank 0 rank 0 t.len;
+    Array.blit t.payload 0 payload 0 t.len;
+    t.parent <- parent;
+    t.rank <- rank;
+    t.payload <- payload
+  end
+
+let fresh t p =
+  ensure t;
+  let i = t.len in
+  t.parent.(i) <- i;
+  t.rank.(i) <- 0;
+  t.payload.(i) <- Some p;
+  t.len <- i + 1;
+  i
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let same t x y = find t x = find t y
+
+let get t x =
+  match t.payload.(find t x) with
+  | Some p -> p
+  | None -> assert false (* payload is maintained at every root *)
+
+let set t x p = t.payload.(find t x) <- Some p
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx = ry then rx
+  else begin
+    let rx, ry = if t.rank.(rx) < t.rank.(ry) then (ry, rx) else (rx, ry) in
+    t.parent.(ry) <- rx;
+    if t.rank.(rx) = t.rank.(ry) then t.rank.(rx) <- t.rank.(rx) + 1;
+    (match (t.payload.(rx), t.payload.(ry)) with
+    | Some a, Some b -> t.payload.(rx) <- Some (t.merge a b)
+    | _ -> assert false);
+    t.payload.(ry) <- None;
+    rx
+  end
+
+(* Abandon a root: its payload is dropped so stale component records can
+   be garbage collected after a scoped re-decomposition replaced them.
+   The node keeps resolving (to itself) but must not be referenced by any
+   live slot afterwards — the maintainer rewrites slot -> node links in
+   the same pass. *)
+let abandon t x = t.payload.(find t x) <- None

@@ -474,38 +474,23 @@ let embed g =
     for v = 0 to n - 1 do
       rot.(v) <- Array.make (Gr.degree g v) (-1)
     done;
-    Array.iter
-      (fun comp_edges ->
-        let vs =
-          let seen = Hashtbl.create 8 in
-          List.concat_map
-            (fun (a, b) ->
-              let out = ref [] in
-              List.iter
-                (fun v ->
-                  if not (Hashtbl.mem seen v) then begin
-                    Hashtbl.replace seen v ();
-                    out := v :: !out
-                  end)
-                [ a; b ];
-              !out)
-            comp_edges
-        in
-        let (h, old_of_new, _new_of_old) = Gr.induced g vs in
-        let sub_rot = embed_biconnected h in
-        (* Concatenate this block's rotation at each of its vertices after
-           whatever previous blocks contributed: blocks sharing a vertex can
-           always be nested planarly into a corner of each other. *)
-        Array.iteri
-          (fun i r ->
-            let v = old_of_new.(i) in
-            Array.iter
-              (fun w_new ->
-                rot.(v).(have.(v)) <- old_of_new.(w_new);
-                have.(v) <- have.(v) + 1)
-              r)
-          sub_rot)
-      dec.Bicon.components;
+    for c = 0 to dec.Bicon.n_components - 1 do
+      let vs = Bicon.component_vertices dec c in
+      let (h, old_of_new, _new_of_old) = Gr.induced g vs in
+      let sub_rot = embed_biconnected h in
+      (* Concatenate this block's rotation at each of its vertices after
+         whatever previous blocks contributed: blocks sharing a vertex can
+         always be nested planarly into a corner of each other. *)
+      Array.iteri
+        (fun i r ->
+          let v = old_of_new.(i) in
+          Array.iter
+            (fun w_new ->
+              rot.(v).(have.(v)) <- old_of_new.(w_new);
+              have.(v) <- have.(v) + 1)
+            r)
+        sub_rot
+    done;
     for v = 0 to n - 1 do
       assert (have.(v) = Gr.degree g v)
     done;

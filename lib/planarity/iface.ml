@@ -49,7 +49,7 @@ let of_part g ~part ~half =
       Hashtbl.mem at v
       || List.exists
            (fun b' -> b' <> from_block && block_has_leaves b' ~entry:v)
-           dec.Bicon.comps_of_vertex.(v)
+           (Bicon.comps_of_vertex dec v)
     in
     (* The bundle of everything attached at vertex [v], seen from block
        [from_block] (or from nowhere for a root vertex): half-edges at [v]
@@ -61,7 +61,7 @@ let of_part g ~part ~half =
             if b' <> from_block && block_has_leaves b' ~entry:v then
               Some (block_node b' ~entry:v)
             else None)
-          dec.Bicon.comps_of_vertex.(v)
+          (Bicon.comps_of_vertex dec v)
       in
       Pqtree.P (leaves_at v @ subblocks)
     and block_node b ~entry =

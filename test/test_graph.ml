@@ -271,8 +271,9 @@ let test_bicon_two_triangles () =
   let d = Bicon.decompose g in
   check "components" 2 d.Bicon.n_components;
   check_bool "2 is cut" true d.Bicon.is_cut.(2);
-  check "2 in both" 2 (List.length d.Bicon.comps_of_vertex.(2));
-  check "0 in one" 1 (List.length d.Bicon.comps_of_vertex.(0))
+  check "2 in both" 2 (Bicon.n_comps_of_vertex d 2);
+  check "2 in both (list)" 2 (List.length (Bicon.comps_of_vertex d 2));
+  check "0 in one" 1 (Bicon.n_comps_of_vertex d 0)
 
 let test_bicon_paper_id () =
   let g = Gr.of_edges ~n:5 [ (0, 1); (1, 2); (0, 2); (2, 3); (3, 4); (2, 4) ] in
@@ -311,13 +312,57 @@ let prop_each_edge_in_one_component =
       let g = Gen.random_connected_graph ~seed ~n:25 ~m:40 in
       let d = Bicon.decompose g in
       let counted = Array.make (Gr.m g) 0 in
-      Array.iter
-        (List.iter (fun (u, v) ->
-             let i = Gr.edge_index g u v in
-             counted.(i) <- counted.(i) + 1))
-        d.Bicon.components;
+      for c = 0 to d.Bicon.n_components - 1 do
+        List.iter
+          (fun (u, v) ->
+            let i = Gr.edge_index g u v in
+            counted.(i) <- counted.(i) + 1)
+          (Bicon.component_edges d c)
+      done;
       Array.for_all (fun c -> c = 1) counted
       && Array.for_all (fun c -> c >= 0) d.Bicon.comp_of_edge)
+
+let prop_flat_membership_consistent =
+  (* The CSR tables must agree with comp_of_edge in both directions, and
+     the vertex tables must agree with the edge tables. *)
+  QCheck.Test.make ~name:"bicon flat CSR arrays consistent" ~count:80
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let n = 3 + (seed mod 20) in
+      let m = min (n + (seed mod 9)) (n * (n - 1) / 2) in
+      let g = Gen.random_graph ~seed ~n ~m in
+      let d = Bicon.decompose g in
+      let ok = ref true in
+      (* Every edge appears in exactly its component's slice. *)
+      for c = 0 to d.Bicon.n_components - 1 do
+        Bicon.iter_component_edges d c (fun e ->
+            if d.Bicon.comp_of_edge.(e) <> c then ok := false)
+      done;
+      if Array.length d.Bicon.comp_edge_list <> Gr.m g then ok := false;
+      (* Vertex -> component lists are duplicate-free and match the
+         component -> vertex lists. *)
+      for v = 0 to Gr.n g - 1 do
+        let comps = Bicon.comps_of_vertex d v in
+        if List.length (List.sort_uniq compare comps) <> List.length comps
+        then ok := false;
+        List.iter
+          (fun c ->
+            if not (List.mem v (Bicon.component_vertices d c)) then ok := false)
+          comps
+      done;
+      for c = 0 to d.Bicon.n_components - 1 do
+        Bicon.iter_component_vertices d c (fun v ->
+            if not (List.mem c (Bicon.comps_of_vertex d v)) then ok := false);
+        (* The vertex set of a component is exactly the endpoints of its
+           edges. *)
+        let from_edges =
+          List.sort_uniq compare
+            (List.concat_map (fun (a, b) -> [ a; b ]) (Bicon.component_edges d c))
+        in
+        if List.sort compare (Bicon.component_vertices d c) <> from_edges then
+          ok := false
+      done;
+      !ok)
 
 let prop_cut_iff_two_components =
   QCheck.Test.make ~name:"cut vertex iff it belongs to >= 2 components"
@@ -327,11 +372,10 @@ let prop_cut_iff_two_components =
       let g = Gen.random_connected_graph ~seed ~n:25 ~m:35 in
       let d = Bicon.decompose g in
       let ok = ref true in
-      Array.iteri
-        (fun v comps ->
-          let cut = List.length comps >= 2 in
-          if cut <> d.Bicon.is_cut.(v) then ok := false)
-        d.Bicon.comps_of_vertex;
+      for v = 0 to Gr.n g - 1 do
+        let cut = Bicon.n_comps_of_vertex d v >= 2 in
+        if cut <> d.Bicon.is_cut.(v) then ok := false
+      done;
       !ok)
 
 let test_block_cut_tree () =
@@ -424,6 +468,52 @@ let prop_genus_label_invariant =
       (* Euler parity: n - m + f = 2 - 2g must hold exactly. *)
       genus >= 0
       && Gr.n g - Gr.m g + Rotation.face_count r = 2 - (2 * genus))
+
+let prop_unsafe_of_validated_matches_make =
+  (* The unvalidated fast path must package the exact same structure as
+     [make] on every valid input: same cyclic orders, same successors,
+     same faces, same genus. *)
+  QCheck.Test.make ~name:"unsafe_of_validated behaves exactly like make"
+    ~count:60
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let g = Gen.random_connected_graph ~seed ~n:14 ~m:22 in
+      let rot = Array.init (Gr.n g) (fun v -> Array.copy (Gr.neighbors g v)) in
+      (* Shuffle each order deterministically so the test is not about
+         sorted adjacency only. *)
+      let rng = Random.State.make [| seed; 77 |] in
+      Array.iter
+        (fun r ->
+          for i = Array.length r - 1 downto 1 do
+            let j = Random.State.int rng (i + 1) in
+            let t = r.(i) in
+            r.(i) <- r.(j);
+            r.(j) <- t
+          done)
+        rot;
+      let a = Rotation.make g rot in
+      let b = Rotation.unsafe_of_validated g (Array.map Array.copy rot) in
+      let ok = ref (Rotation.genus a = Rotation.genus b) in
+      if Rotation.faces a <> Rotation.faces b then ok := false;
+      for v = 0 to Gr.n g - 1 do
+        if Rotation.rotation a v <> Rotation.rotation b v then ok := false;
+        Gr.iter_neighbors g v (fun u ->
+            if Rotation.succ a v u <> Rotation.succ b v u then ok := false)
+      done;
+      !ok)
+
+let test_make_still_validates () =
+  (* The checked constructor must keep rejecting garbage even though the
+     unsafe path exists (pinning the satellite contract). *)
+  let g = Gen.cycle 4 in
+  (try
+     ignore (Rotation.make g [| [| 1; 1 |]; [| 0; 2 |]; [| 1; 3 |]; [| 0; 2 |] |]);
+     Alcotest.fail "duplicate neighbor accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Rotation.make g [| [| 1 |]; [| 0; 2 |]; [| 1; 3 |]; [| 0; 2 |] |]);
+    Alcotest.fail "short rotation accepted"
+  with Invalid_argument _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Gen                                                                 *)
@@ -543,6 +633,7 @@ let () =
           Alcotest.test_case "block-cut tree" `Quick test_block_cut_tree;
           QCheck_alcotest.to_alcotest prop_cut_vertices_match_brute_force;
           QCheck_alcotest.to_alcotest prop_each_edge_in_one_component;
+          QCheck_alcotest.to_alcotest prop_flat_membership_consistent;
           QCheck_alcotest.to_alcotest prop_cut_iff_two_components;
         ] );
       ( "rotation",
@@ -557,6 +648,8 @@ let () =
           Alcotest.test_case "mirror" `Quick test_mirror_roundtrip;
           QCheck_alcotest.to_alcotest prop_mirror_preserves_genus;
           QCheck_alcotest.to_alcotest prop_genus_label_invariant;
+          QCheck_alcotest.to_alcotest prop_unsafe_of_validated_matches_make;
+          Alcotest.test_case "make still validates" `Quick test_make_still_validates;
         ] );
       ( "gen",
         [
