@@ -10,9 +10,18 @@
               what cross-round batching buys: epoch = 1 is the
               barrier-per-round scheduler, epoch = 8 lets interior
               shards run eight fused rounds per barrier.
+     tier-a/f strong scaling of the sharded clocked fault engine: the
+              same faulted embedder run at domains = 1 and domains = 4,
+              each point run twice and gated on determinism (identical
+              replay) and an Euler-verified embedding. Fault schedules
+              are stream-distinct across domain counts, so the d=4
+              result is compared against its own replay, not d=1.
      tier-b   pool throughput: a seeded chaos sweep (independent
               fault-injected embedder runs) executed serially and then
-              through Pool.map, results compared run by run.
+              through Pool.map, results compared run by run. Gated at
+              any core count: the pooled sweep may cost at most 1/0.9
+              of the serial wall (the jobs cap means a 1-core pooled
+              sweep is the sequential path plus noise).
 
    Wall-clock time is what parallelism buys, so this bench measures
    Unix.gettimeofday, not CPU time — on a single-core machine the
@@ -23,9 +32,10 @@
 
      dune exec bench/parallel.exe              # full sweep
      dune exec bench/parallel.exe -- --quick   # CI smoke: small cases;
-                                               # identity always gated,
-                                               # wall gates only when
-                                               # cores >= 4
+                                               # identity and the pool
+                                               # gate always enforced,
+                                               # the flood speedup gate
+                                               # only when cores >= 4
      dune exec bench/parallel.exe -- --out F   # write the JSON to F *)
 
 let to_all g v msg =
@@ -99,21 +109,21 @@ let scale_flood name g =
     a_points = points;
   }
 
+let rot_table r =
+  let g = Rotation.graph r in
+  Array.init (Gr.n g) (fun v -> Rotation.rotation r v)
+
+let fingerprint (o : Embedder.outcome) =
+  ( (match o.Embedder.rotation with
+    | Some r -> Some (rot_table r)
+    | None -> None),
+    o.Embedder.report.Embedder.rounds )
+
 let scale_embedder name g =
   let outcome d e =
     Embedder.run ~config:(Network.Config.make ~domains:d ~epoch:e ()) g
   in
   let (base, base_wall) = wall (fun () -> outcome 1 8) in
-  let rot_table r =
-    let g = Rotation.graph r in
-    Array.init (Gr.n g) (fun v -> Rotation.rotation r v)
-  in
-  let fingerprint (o : Embedder.outcome) =
-    ( (match o.Embedder.rotation with
-      | Some r -> Some (rot_table r)
-      | None -> None),
-      o.Embedder.report.Embedder.rounds )
-  in
   let fp0 = fingerprint base in
   let points =
     List.map
@@ -144,6 +154,49 @@ let print_scaling c =
         (if ok then "" else " MISMATCH"))
     c.a_points;
   print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Tier A, faulted: the sharded clocked fault engine                   *)
+(* ------------------------------------------------------------------ *)
+
+type faulted = {
+  f_name : string;
+  f_n : int;
+  (* (domains, wall seconds, deterministic replay + Euler-verified) *)
+  f_points : (int * float * bool) list;
+}
+
+let scale_faulted name g =
+  (* Faults compose with domains > 1 since PR 10; the schedule is
+     stream-distinct across domain counts, so each point's correctness
+     check is "run twice, byte-identical, Euler-verified" rather than a
+     diff against the d=1 run. *)
+  let run d =
+    let plan =
+      Fault.make ~spec:{ Fault.default with drop = 0.05 } ~seed:42 ()
+    in
+    let o = Embedder.run ~config:(Network.Config.make ~faults:plan ~domains:d ()) g in
+    (o, Fault.stats plan)
+  in
+  let point d =
+    let ((o1, s1), w) = wall (fun () -> run d) in
+    let (o2, s2) = run d in
+    let euler =
+      match o1.Embedder.rotation with
+      | Some rot -> Rotation.is_planar_embedding rot
+      | None -> false
+    in
+    (d, w, euler && fingerprint o1 = fingerprint o2 && s1 = s2)
+  in
+  let points = List.map point [ 1; 4 ] in
+  let c = { f_name = name; f_n = Gr.n g; f_points = points } in
+  Printf.printf "tier-a/f %-24s n=%-7d " c.f_name c.f_n;
+  List.iter
+    (fun (d, w, ok) ->
+      Printf.printf " d=%d %7.3fs%s" d w (if ok then "" else " MISMATCH"))
+    c.f_points;
+  print_newline ();
+  c
 
 (* ------------------------------------------------------------------ *)
 (* Tier B: many runs, pooled                                           *)
@@ -199,7 +252,7 @@ let chaos_sweep name g ~runs ~jobs =
 (* JSON                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let json ~cores ~tier_a ~tier_b =
+let json ~cores ~tier_a ~tier_f ~tier_b =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"benchmark\": \"congest-multicore-scaling\",\n";
   Buffer.add_string b (Printf.sprintf "  \"cores\": %d,\n" cores);
@@ -224,6 +277,25 @@ let json ~cores ~tier_a ~tier_b =
         (Printf.sprintf "    ] }%s\n"
            (if i = List.length tier_a - 1 then "" else ",")))
     tier_a;
+  Buffer.add_string b "  ],\n  \"tier_a_faulted\": [\n";
+  List.iteri
+    (fun i c ->
+      Buffer.add_string b
+        (Printf.sprintf "    { \"name\": %S, \"n\": %d, \"points\": [\n"
+           c.f_name c.f_n);
+      List.iteri
+        (fun j (d, w, ok) ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "      { \"domains\": %d, \"wall_s\": %.6f, \
+                \"deterministic_euler_ok\": %b }%s\n"
+               d w ok
+               (if j = List.length c.f_points - 1 then "" else ",")))
+        c.f_points;
+      Buffer.add_string b
+        (Printf.sprintf "    ] }%s\n"
+           (if i = List.length tier_f - 1 then "" else ",")))
+    tier_f;
   Buffer.add_string b "  ],\n  \"tier_b_pool_throughput\": [\n";
   List.iteri
     (fun i c ->
@@ -259,45 +331,67 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   let cores = Domain.recommended_domain_count () in
   Printf.printf "cores: %d (Domain.recommended_domain_count)\n%!" cores;
-  let tier_a, tier_b =
+  let tier_a, tier_f, tier_b =
     if !quick then begin
       let a1 = scale_flood "grid-60x60/flood" (Gen.grid 60 60) in
       print_scaling a1;
       let a2 = scale_embedder "grid-16x16/embedder" (Gen.grid 16 16) in
       print_scaling a2;
+      let f1 = scale_faulted "grid-12x12/embedder+drop" (Gen.grid 12 12) in
       let b1 = chaos_sweep "grid-10x10/chaos" (Gen.grid 10 10) ~runs:8 ~jobs:4 in
-      ([ a1; a2 ], [ b1 ])
+      ([ a1; a2 ], [ f1 ], [ b1 ])
     end
     else begin
       let a1 = scale_flood "grid-250x400/flood" (Gen.grid 250 400) in
       print_scaling a1;
       let a2 = scale_embedder "grid-40x40/embedder" (Gen.grid 40 40) in
       print_scaling a2;
+      let f1 = scale_faulted "grid-24x24/embedder+drop" (Gen.grid 24 24) in
       let b1 = chaos_sweep "grid-16x16/chaos" (Gen.grid 16 16) ~runs:16 ~jobs:4 in
-      ([ a1; a2 ], [ b1 ])
+      ([ a1; a2 ], [ f1 ], [ b1 ])
     end
   in
   let oc = open_out !out in
-  output_string oc (json ~cores ~tier_a ~tier_b);
+  output_string oc (json ~cores ~tier_a ~tier_f ~tier_b);
   close_out oc;
   Printf.printf "\nwrote %s\n" !out;
-  (* Identity is gated unconditionally: a sharded or pooled run that
-     differs from the sequential one is a bug at any core count. *)
+  (* Correctness is gated unconditionally: a sharded or pooled run that
+     differs from the sequential one — or a faulted sharded run that
+     fails to replay or to embed — is a bug at any core count. *)
   let mismatches =
     List.length
       (List.concat_map
          (fun c -> List.filter (fun (_, _, _, ok) -> not ok) c.a_points)
          tier_a)
+    + List.length
+        (List.concat_map
+           (fun c -> List.filter (fun (_, _, ok) -> not ok) c.f_points)
+           tier_f)
     + List.length (List.filter (fun c -> not c.b_identical) tier_b)
   in
   if mismatches > 0 then begin
     Printf.eprintf "parallel: %d result(s) differ from sequential\n" mismatches;
     exit 1
   end;
-  (* Wall-clock gates need hardware parallelism to be meaningful; on a
-     single- or dual-core runner they are reported but not enforced.
-     The gate is the ISSUE's: on the flood, the epoch-sharded run at
-     four domains may cost at most 1.05x the sequential wall. *)
+  (* The pool must never lose to the serial sweep by more than measurement
+     noise, at ANY core count: with the jobs cap, a 1-core pooled sweep IS
+     the sequential path, and on a multicore host Pool.map should win, not
+     merely break even. Gate: pooled throughput >= 0.9x serial. *)
+  let pool_slow =
+    List.filter (fun c -> c.pooled_wall > c.serial_wall /. 0.9) tier_b
+  in
+  List.iter
+    (fun c ->
+      Printf.eprintf
+        "parallel: pooled sweep below 0.9x serial throughput on %s \
+         (serial %.3fs, pooled %.3fs)\n"
+        c.b_name c.serial_wall c.pooled_wall)
+    pool_slow;
+  if pool_slow <> [] then exit 1;
+  (* The speedup gate needs hardware parallelism to be meaningful; on a
+     single- or dual-core runner it is reported but not enforced. On a
+     >= 4-core runner the bar is a real win: the epoch-sharded flood at
+     four domains must beat the sequential wall outright (< 1.0x). *)
   if !quick && cores >= 4 then begin
     let slow =
       List.filter
@@ -307,17 +401,18 @@ let () =
           let ws = List.map (fun (d, e, w, _) -> ((d, e), w)) c.a_points in
           let w1 = List.assoc (1, 8) ws in
           let w4 = List.assoc (4, 8) ws in
-          w4 > 1.05 *. w1)
+          w4 >= 1.0 *. w1)
         tier_a
     in
     List.iter
       (fun c ->
         Printf.eprintf
-          "parallel: domains=4/epoch=8 wall exceeds 1.05x sequential on %s\n"
+          "parallel: domains=4/epoch=8 failed to beat the sequential wall \
+           on %s\n"
           c.a_name)
       slow;
     if slow <> [] then exit 1
   end
   else if !quick then
     Printf.printf
-      "wall gates skipped: only %d core(s) available, need >= 4\n" cores
+      "speedup gate skipped: only %d core(s) available, need >= 4\n" cores

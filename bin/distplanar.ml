@@ -395,6 +395,16 @@ let chaos_cmd =
              output are identical to the serial sweep, only wall time \
              changes.")
   in
+  let domains_t =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ]
+          ~doc:
+            "Run each faulty simulation on this many domains (the sharded \
+             clocked engine). Deterministic per (seed, domains); composes \
+             with --jobs. Note the fault schedule is seed-compatible but \
+             stream-distinct across domain counts.")
+  in
   let parse_crash s =
     let fail () =
       Printf.eprintf "chaos: cannot parse --crash %S (want NODE@AT[:RESTART])\n" s;
@@ -419,7 +429,7 @@ let chaos_cmd =
     | _ -> fail ()
   in
   let run family n rows cols seglen seed m chord mode drop dup reorder delay
-      max_delay adversarial crash_specs grace runs jobs =
+      max_delay adversarial crash_specs grace runs jobs domains =
     (* The quickstart says `--family grid --n 1024`: for the grid families,
        an explicit --n with the rows/cols left at their defaults means a
        square sqrt(n) x sqrt(n) grid. *)
@@ -472,7 +482,9 @@ let chaos_cmd =
       let plan = Fault.make ~spec ~seed () in
       let ok, verdict, rounds =
         match
-          Embedder.run ~config:(Network.Config.make ~faults:plan ()) ~mode g
+          Embedder.run
+            ~config:(Network.Config.make ~faults:plan ~domains ())
+            ~mode g
         with
         | o -> (
             let r = o.Embedder.report.Embedder.rounds in
@@ -515,7 +527,7 @@ let chaos_cmd =
     Term.(
       const run $ family_t $ n_t $ rows_t $ cols_t $ seglen_t $ seed_t $ m_t
       $ chord_t $ mode_t $ drop_t $ dup_t $ reorder_t $ delay_t $ max_delay_t
-      $ adversarial_t $ crash_t $ grace_t $ runs_t $ jobs_t)
+      $ adversarial_t $ crash_t $ grace_t $ runs_t $ jobs_t $ domains_t)
   in
   Cmd.v
     (Cmd.info "chaos"

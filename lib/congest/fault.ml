@@ -44,10 +44,17 @@ let zero_stats =
     restarts = 0;
   }
 
+(* A splitmix64 stream position. The plan owns one (the engine-visit
+   stream of the sequential clocked engine); sharded runs derive keyed
+   substreams — fresh positions seeded from (seed, shard, round, slot) —
+   so fault decisions stay deterministic without a single stream forcing
+   a total consumption order across domains. *)
+type stream = { mutable pos : int64 }
+
 type plan = {
   spec : spec;
   seed : int;
-  mutable state : int64;  (* splitmix64 stream position *)
+  stream : stream;
   mutable stats : stats;
   by_node : (int, crash list) Hashtbl.t;
   horizon : int;
@@ -57,24 +64,24 @@ type plan = {
    plan must not depend on Stdlib.Random's global state or algorithm. *)
 let mix seed = Int64.logxor (Int64.of_int seed) 0x2545F4914F6CDD1DL
 
-let next p =
+let snext s =
   let open Int64 in
-  p.state <- add p.state 0x9E3779B97F4A7C15L;
-  let z = p.state in
+  s.pos <- add s.pos 0x9E3779B97F4A7C15L;
+  let z = s.pos in
   let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
 (* Uniform float in [0, 1): the top 53 bits of one draw. *)
-let uniform p =
-  Int64.to_float (Int64.shift_right_logical (next p) 11) *. 0x1p-53
+let suniform s =
+  Int64.to_float (Int64.shift_right_logical (snext s) 11) *. 0x1p-53
 
 (* Uniform int in [0, bound): modulo bias is irrelevant at fault-plan
    precision (bound is tiny against 2^62). *)
-let below p bound =
-  Int64.to_int (Int64.shift_right_logical (next p) 2) mod bound
+let sbelow s bound =
+  Int64.to_int (Int64.shift_right_logical (snext s) 2) mod bound
 
-let chance p prob = prob > 0. && uniform p < prob
+let schance s prob = prob > 0. && suniform s < prob
 
 let make ?(spec = default) ~seed () =
   let bad_prob x = not (x >= 0. && x <= 1.) in
@@ -97,7 +104,8 @@ let make ?(spec = default) ~seed () =
         max acc (match c.restart with Some r -> r | None -> c.at))
       0 spec.crashes
   in
-  { spec; seed; state = mix seed; stats = zero_stats; by_node; horizon }
+  { spec; seed; stream = { pos = mix seed }; stats = zero_stats; by_node;
+    horizon }
 
 let spec p = p.spec
 let seed p = p.seed
@@ -106,40 +114,42 @@ let horizon p = p.horizon
 let grace p = p.spec.grace
 
 let reset p =
-  p.state <- mix p.seed;
+  p.stream.pos <- mix p.seed;
   p.stats <- zero_stats
 
 type delivery = { offset : int; key : int option }
 
-let one_copy p =
+let one_copy p s =
   let offset =
-    if chance p p.spec.delay then begin
+    if schance s p.spec.delay then begin
       p.stats <- { p.stats with delayed = p.stats.delayed + 1 };
-      1 + below p p.spec.max_delay
+      1 + sbelow s p.spec.max_delay
     end
     else 0
   in
   let key =
-    if chance p p.spec.reorder then begin
+    if schance s p.spec.reorder then begin
       p.stats <- { p.stats with reordered = p.stats.reordered + 1 };
-      Some (below p 0x40000000)
+      Some (sbelow s 0x40000000)
     end
     else None
   in
   { offset; key }
 
-let fate p =
-  if chance p p.spec.drop then begin
+let fate_on p s =
+  if schance s p.spec.drop then begin
     p.stats <- { p.stats with dropped = p.stats.dropped + 1 };
     []
   end
-  else if chance p p.spec.duplicate then begin
+  else if schance s p.spec.duplicate then begin
     p.stats <- { p.stats with duplicated = p.stats.duplicated + 1 };
-    let a = one_copy p in
-    let b = one_copy p in
+    let a = one_copy p s in
+    let b = one_copy p s in
     [ a; b ]
   end
-  else [ one_copy p ]
+  else [ one_copy p s ]
+
+let fate p = fate_on p p.stream
 
 let down p ~node ~round =
   match Hashtbl.find_opt p.by_node node with
@@ -168,11 +178,41 @@ let transitions p ~round =
 let note_crash_lost p =
   p.stats <- { p.stats with crash_lost = p.stats.crash_lost + 1 }
 
-let permute p a =
+let permute_on s a =
   let k = Array.length a in
   for i = k - 1 downto 1 do
-    let j = below p (i + 1) in
+    let j = sbelow s (i + 1) in
     let t = a.(i) in
     a.(i) <- a.(j);
     a.(j) <- t
   done
+
+let permute p a = permute_on p.stream a
+
+(* ------------------------------------------------------------------ *)
+(* Keyed substreams (sharded fault decisions)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A substream's position is a splitmix64 finalization of
+   (seed, shard, round, slot): well-separated keys give well-separated
+   streams, and the derivation consumes nothing from the plan's own
+   stream — the same (seed, key) always yields the same draws no matter
+   how many other substreams were opened before it. Stats still tally
+   into the shared plan, so substream draws must happen in a serial
+   section (the sharded engine's network phase). *)
+type sub = { sp : plan; sstream : stream }
+
+let substream p ~shard ~round ~slot =
+  let open Int64 in
+  let h = ref (mix p.seed) in
+  let absorb x =
+    h := add !h (mul (of_int (x + 1)) 0x9E3779B97F4A7C15L);
+    h := mul (logxor !h (shift_right_logical !h 30)) 0xBF58476D1CE4E5B9L
+  in
+  absorb shard;
+  absorb round;
+  absorb slot;
+  { sp = p; sstream = { pos = !h } }
+
+let sub_fate u = fate_on u.sp u.sstream
+let sub_permute u a = permute_on u.sstream a

@@ -570,17 +570,64 @@ let exec_faulty ~plan ?bandwidth ?max_rounds ?(observe = Observe.none) g proto =
 
 (* Growable int buffer, reused across rounds: per-slot stagings and
    event logs have no static bound, so they amortize to their peak and
-   stay there. *)
+   stay there. The header is padded past a cache line: adjacent slots'
+   buffers are allocated back to back and their [len] fields are bumped
+   concurrently by different domains — without the pad every push would
+   false-share. *)
 module Ibuf = struct
-  type t = { mutable a : int array; mutable len : int }
+  type t = {
+    mutable a : int array;
+    mutable len : int;
+    mutable _p0 : int;
+    mutable _p1 : int;
+    mutable _p2 : int;
+    mutable _p3 : int;
+    mutable _p4 : int;
+    mutable _p5 : int;
+  }
 
-  let make cap = { a = Array.make (max 16 cap) 0; len = 0 }
+  let make cap =
+    { a = Array.make (max 16 cap) 0; len = 0; _p0 = 0; _p1 = 0; _p2 = 0;
+      _p3 = 0; _p4 = 0; _p5 = 0 }
+
   let clear t = t.len <- 0
 
   let push t x =
     let cap = Array.length t.a in
     if t.len = cap then begin
       let a' = Array.make (2 * cap) 0 in
+      Array.blit t.a 0 a' 0 cap;
+      t.a <- a'
+    end;
+    t.a.(t.len) <- x;
+    t.len <- t.len + 1
+end
+
+(* Growable message buffer — [Ibuf] for 'm values (boundary-mail
+   payloads, shard outboxes). Starts empty so no dummy element is
+   needed; padded for the same false-sharing reason. *)
+module Mbuf = struct
+  type 'm t = {
+    mutable a : 'm array;
+    mutable len : int;
+    mutable _p0 : int;
+    mutable _p1 : int;
+    mutable _p2 : int;
+    mutable _p3 : int;
+    mutable _p4 : int;
+    mutable _p5 : int;
+  }
+
+  let make () =
+    { a = [||]; len = 0; _p0 = 0; _p1 = 0; _p2 = 0; _p3 = 0; _p4 = 0;
+      _p5 = 0 }
+
+  let clear t = t.len <- 0
+
+  let push t x =
+    let cap = Array.length t.a in
+    if t.len = cap then begin
+      let a' = Array.make (max 16 (2 * cap)) x in
       Array.blit t.a 0 a' 0 cap;
       t.a <- a'
     end;
@@ -596,6 +643,34 @@ end
 exception Stop_shard
 
 type slot_error = { rnd : int; pos : int; err : exn }
+
+(* Per-slot counters, one padded block per slot: in the width-1
+   stolen-chunk path every send bumps its slot's counters, and with the
+   old parallel arrays (sl_msgs/sl_bits/...) adjacent slots' counters
+   shared cache lines — a measured overhead fraction on chunk-heavy
+   workloads. 13 fields + header > 64 bytes keeps any two slots' hot
+   fields on different lines. *)
+type slot_acc = {
+  mutable a_msgs : int;
+  mutable a_bits : int;
+  mutable a_maxmsg : int;
+  mutable a_maxburst : int;
+  mutable a_tick : int;  (* current sender's stamp for the load scratch *)
+  mutable a_err : slot_error option;
+  mutable _a0 : int;
+  mutable _a1 : int;
+  mutable _a2 : int;
+  mutable _a3 : int;
+  mutable _a4 : int;
+  mutable _a5 : int;
+  mutable _a6 : int;
+  mutable _a7 : int;
+}
+
+let slot_acc () =
+  { a_msgs = 0; a_bits = 0; a_maxmsg = 0; a_maxburst = 0; a_tick = 0;
+    a_err = None;
+    _a0 = 0; _a1 = 0; _a2 = 0; _a3 = 0; _a4 = 0; _a5 = 0; _a6 = 0; _a7 = 0 }
 
 (* The parallel round engine. The node range is split into [k]
    contiguous shards; a persistent [Pool.t] of [k] domains executes the
@@ -624,20 +699,43 @@ type slot_error = { rnd : int; pos : int; err : exn }
    round. Boundary darts cannot be written during the epoch by
    construction — the "flush" of boundary traffic is the return to
    width-1 chunk mode as soon as the active set nears a frontier.
-   Per-shard round logs (cumulative counters + event/staging watermarks
-   per local round) let the serial epoch merge replay what the
-   sequential engine would have recorded, round by round in shard
-   order.
+   Per-shard round logs (plain cumulative counters per local round) let
+   the serial epoch merge fold per-round totals without touching a
+   single message.
 
-   Both merges preserve bit-identity with [exec_clean] — states,
+   {b Deferred observation.} Observation sinks no longer cost a serial
+   replay per barrier. When no sink consumes per-message events (the
+   benchmark hot path) the slots buffer nothing and the barriers fold
+   plain counters. When observation is on, each slot appends its events
+   to a persistent log, every committed round appends one {e frame}
+   (round, active, totals, per-slot event watermarks) to a run-global
+   frame log, and the whole timeline is merged {e once at run end} — a
+   slot-order k-way walk of the frame log that replays messages, derives
+   each round's first-touched recipients for burst accounting, and emits
+   the round records. The price is retaining the event log for the whole
+   run, the same order of memory a message-keeping trace already costs.
+
+   {b Boundary mail.} Sends never write another shard's cache lines
+   during a parallel section: a cross-shard message (sid u <> sid v) is
+   staged in its slot's per-destination-shard buffer and flushed at the
+   barrier — serially when light, by a pool dispatch over destination
+   shards when heavy (each destination's box/has_mail cells then have
+   exactly one writer, draining slots in order, which preserves the
+   sequential per-dart cons order). Bandwidth is charged at send time
+   from a slot-local per-outbox accumulator — all traffic on a dart in
+   one round comes from its unique sender's single outbox — so the
+   engine no longer keeps a shared per-dart load array at all.
+
+   Both modes preserve bit-identity with [exec_clean] — states,
    rounds, report, metrics, trace — at every (domains, epoch, steal);
    the differential suite (test_engine_diff.ml) holds them to that.
    Error behavior is faithful too: each slot stops at its first error,
-   the merge replays exactly the event prefix the sequential engine
-   would have recorded (slots below the failing one in full, the
-   failing slot up to the error — for epochs, complete rounds before
-   the failing round first), and re-raises the error the sequential
-   sweep would have hit first: lowest (round, slot).
+   the merge flushes the frame log and then replays exactly the event
+   prefix the sequential engine would have recorded (slots below the
+   failing one in full, the failing slot up to the error — for epochs,
+   complete rounds before the failing round first), and re-raises the
+   error the sequential sweep would have hit first: lowest
+   (round, slot).
 
    Protocols must be pure (no shared mutable state in their closures):
    [init]/[round] of different nodes run concurrently, and [init] of
@@ -678,6 +776,14 @@ let exec_parallel ~domains ~epoch ~steal ?bandwidth ?max_rounds
     || (match trace with Some tr -> Trace.keep_messages tr | None -> false)
   in
   let shard_lo = Array.init (k + 1) (fun i -> i * n / k) in
+  (* Shard of each node: the boundary-mail test (stage iff
+     sid u <> sid v) consults it on every chunk-mode send. *)
+  let sid = Array.make (max 1 n) 0 in
+  for i = 0 to k - 1 do
+    for v = shard_lo.(i) to shard_lo.(i + 1) - 1 do
+      sid.(v) <- i
+    done
+  done;
   (* Hop distance to the nearest shard frontier, the epoch-legality
      oracle: an epoch of width e is sound iff every active node is at
      distance >= e. Nodes in components with no frontier keep max_int —
@@ -685,12 +791,6 @@ let exec_parallel ~domains ~epoch ~steal ?bandwidth ?max_rounds
   let dist =
     if epoch_max <= 1 then [||]
     else begin
-      let sid = Array.make (max 1 n) 0 in
-      for i = 0 to k - 1 do
-        for v = shard_lo.(i) to shard_lo.(i + 1) - 1 do
-          sid.(v) <- i
-        done
-      done;
       let d = Array.make (max 1 n) max_int in
       let q = Array.make (max 1 n) 0 in
       let qt = ref 0 in
@@ -725,7 +825,6 @@ let exec_parallel ~domains ~epoch ~steal ?bandwidth ?max_rounds
     end
   in
   let box : 'm list array = Array.make (max 1 nd) [] in
-  let load = Array.make (max 1 nd) 0 in
   let has_mail = Array.make (max 1 n) false in
   let staged = Array.make (max 1 n) 0 in
   let n_staged = ref 0 in
@@ -745,71 +844,103 @@ let exec_parallel ~domains ~epoch ~steal ?bandwidth ?max_rounds
   let active_peak = ref 0 in
   (* Per-slot accumulators: a slot is a chunk in chunk mode (up to
      k * steal of them) or a shard in epoch mode (the first k). Counters
-     fold at the merge, stagings dedupe there, events replay there. *)
+     fold at the merge, stagings dedupe there; event logs are
+     append-only for the whole run and replay once at the end. *)
   let nslots = k * steal in
-  let sl_msgs = Array.make nslots 0 in
-  let sl_bits = Array.make nslots 0 in
-  let sl_maxmsg = Array.make nslots 0 in
-  let sl_maxburst = Array.make nslots 0 in
+  let sl = Array.init nslots (fun _ -> slot_acc ()) in
   let sl_staged = Array.init nslots (fun _ -> Ibuf.make 64) in
   let sl_events =
     Array.init nslots (fun _ -> Ibuf.make (if observing then 256 else 16))
   in
-  let sl_err : slot_error option array = Array.make nslots None in
+  (* Slot-local per-round load scratch, indexed by the sender's
+     adjacency rank: within one round all traffic on a dart comes from
+     its unique sender's single outbox, so the bandwidth/burst
+     accumulator needs no shared load array. [ld_cum.(slot).(o)] is the
+     cumulative bits of the current sender's out-dart [o] (its rank in
+     the sender's CSR slice); validity is a stamp compare against the
+     slot's [a_tick], bumped once per sender — O(1) per send, no
+     per-node clearing, no probe. *)
+  let maxdeg =
+    let m = ref 1 in
+    for v = 0 to n - 1 do
+      let d = xadj.(v + 1) - xadj.(v) in
+      if d > !m then m := d
+    done;
+    !m
+  in
+  let ld_cum = Array.init nslots (fun _ -> Array.make maxdeg 0) in
+  let ld_stp = Array.init nslots (fun _ -> Array.make maxdeg 0) in
+  (* Boundary mail staged at send, per (slot, destination shard),
+     flushed at the barrier. *)
+  let ob_d = Array.init nslots (fun _ -> Array.init k (fun _ -> Ibuf.make 32)) in
+  let ob_m : 'm Mbuf.t array array =
+    Array.init nslots (fun _ -> Array.init k (fun _ -> Mbuf.make ()))
+  in
+  let fl_staged = Array.init k (fun _ -> Ibuf.make 64) in
   (* Epoch-mode per-shard logs. [sh_dstaged] accumulates the {e deduped}
      staged recipients of every local round in first-touch order;
      [sh_rlog] stores five ints per completed local round — cumulative
      messages, cumulative bits, active count, event watermark, staging
-     watermark — so the merge can reconstruct per-round deltas and
-     slices. [sh_cur] is the shard's working (sorted) active list. *)
+     watermark — so the merge can fold per-round deltas and slices.
+     [sh_cur] is the shard's working (sorted) active list. *)
   let sh_dstaged = Array.init k (fun _ -> Ibuf.make 64) in
   let sh_rlog = Array.init k (fun _ -> Ibuf.make 80) in
   let sh_cur = Array.init k (fun _ -> Ibuf.make 64) in
-  (* Merge-time per-dart load reconstruction (epoch rounds only): the
-     real [load] array has been reused by later local rounds by the time
-     the merge runs, so burst accounting replays into a scratch copy. *)
+  (* The run-global frame log (observing runs only): per committed round
+     [rnd; nc; active; msgs; bits; wm_0 .. wm_{nc-1}], where wm_s is
+     slot s's event-log length at commit. [cursor] tracks each slot's
+     replay position during the run-end merge. *)
+  let frames = Ibuf.make (if observing then 256 else 16) in
+  let fpos = ref 0 in
+  let cursor = Array.make nslots 0 in
+  (* Merge-time per-dart load reconstruction: the burst accounting of
+     every round replays into a scratch copy at merge time. [mstamp]
+     and [rbuf] derive the round's first-touched recipients from the
+     replayed events — exactly the sequential engine's staging set. *)
   let mload =
-    if Option.is_some metrics && epoch_max > 1 then Array.make (max 1 nd) 0
-    else [||]
+    if Option.is_some metrics then Array.make (max 1 nd) 0 else [||]
   in
   let mtouch = Ibuf.make 256 in
+  let mstamp = Array.make (max 1 n) 0 in
+  let rbuf = Ibuf.make 256 in
+  let frame_no = ref 0 in
   let send slot rnd u (v, msg) =
-    let d =
-      let s = rank srcs xadj.(u) (xadj.(u + 1) - 1) v in
-      if s < 0 then begin
-        sl_err.(slot) <-
-          Some
-            {
-              rnd;
-              pos = sl_events.(slot).Ibuf.len;
-              err =
-                Invalid_argument
-                  (Printf.sprintf "Network.run: node %d sent to non-neighbor %d"
-                     u v);
-            };
-        raise_notrace Stop_shard
-      end;
-      rev.(s)
-    in
+    let s = rank srcs xadj.(u) (xadj.(u + 1) - 1) v in
+    if s < 0 then begin
+      sl.(slot).a_err <-
+        Some
+          {
+            rnd;
+            pos = sl_events.(slot).Ibuf.len;
+            err =
+              Invalid_argument
+                (Printf.sprintf "Network.run: node %d sent to non-neighbor %d"
+                   u v);
+          };
+      raise_notrace Stop_shard
+    end;
+    let d = rev.(s) in
     let bits = proto.msg_bits msg in
     if observing then begin
       Ibuf.push sl_events.(slot) d;
       Ibuf.push sl_events.(slot) bits
     end;
-    sl_msgs.(slot) <- sl_msgs.(slot) + 1;
-    sl_bits.(slot) <- sl_bits.(slot) + bits;
-    if bits > sl_maxmsg.(slot) then sl_maxmsg.(slot) <- bits;
-    (match box.(d) with
-    | [] -> Ibuf.push sl_staged.(slot) v
-    | _ :: _ -> ());
-    box.(d) <- msg :: box.(d);
-    let now = load.(d) + bits in
-    load.(d) <- now;
-    if now > sl_maxburst.(slot) then sl_maxburst.(slot) <- now;
+    let a = sl.(slot) in
+    a.a_msgs <- a.a_msgs + 1;
+    a.a_bits <- a.a_bits + bits;
+    if bits > a.a_maxmsg then a.a_maxmsg <- bits;
+    let o = s - xadj.(u) in
+    let cum = ld_cum.(slot) and stp = ld_stp.(slot) in
+    let now =
+      if stp.(o) = a.a_tick then cum.(o) + bits else bits
+    in
+    cum.(o) <- now;
+    stp.(o) <- a.a_tick;
+    if now > a.a_maxburst then a.a_maxburst <- now;
     if now > bandwidth then begin
       (* The sequential engine records the violating message in its
          sinks before raising; [pos] already includes it. *)
-      sl_err.(slot) <-
+      a.a_err <-
         Some
           {
             rnd;
@@ -817,12 +948,22 @@ let exec_parallel ~domains ~epoch ~steal ?bandwidth ?max_rounds
             err = Bandwidth_exceeded { round = rnd; u; v; bits = now };
           };
       raise_notrace Stop_shard
+    end;
+    if sid.(u) = sid.(v) then begin
+      (match box.(d) with
+      | [] -> Ibuf.push sl_staged.(slot) v
+      | _ :: _ -> ());
+      box.(d) <- msg :: box.(d)
+    end
+    else begin
+      Ibuf.push ob_d.(slot).(sid.(v)) d;
+      Mbuf.push ob_m.(slot).(sid.(v)) msg
     end
   in
-  (* Replay buffered event pairs [lo, hi) of a slot into the sinks; with
-     [tally] also rebuild the per-dart round loads for burst accounting
-     (epoch merge only). *)
-  let replay ~tally slot lo hi =
+  (* Replay buffered event pairs [lo, hi) of a slot into the sinks as
+     round [rnd]; with [tally] also rebuild the per-dart round loads and
+     collect first-touched recipients for burst accounting. *)
+  let replay ~rnd ~tally slot lo hi =
     let ev = sl_events.(slot).Ibuf.a in
     for j = lo to hi - 1 do
       let d = ev.(2 * j) and bits = ev.((2 * j) + 1) in
@@ -834,12 +975,64 @@ let exec_parallel ~domains ~epoch ~steal ?bandwidth ?max_rounds
             ~bits;
           if tally then begin
             if mload.(d) = 0 then Ibuf.push mtouch d;
-            mload.(d) <- mload.(d) + bits
+            mload.(d) <- mload.(d) + bits;
+            if mstamp.(v) <> !frame_no then begin
+              mstamp.(v) <- !frame_no;
+              Ibuf.push rbuf v
+            end
           end
       | None -> ());
       match trace with
-      | Some tr -> Trace.on_message tr ~round:(base + !round) ~src:u ~dst:v ~bits
+      | Some tr -> Trace.on_message tr ~round:(base + rnd) ~src:u ~dst:v ~bits
       | None -> ()
+    done
+  in
+  (* The deferred observation merge: walk the frame log once — at run
+     end or at the error boundary — replaying each round's events in
+     slot order (the sequential visit order), scanning the round's
+     first-touched recipients' darts for the per-edge burst maxima, and
+     emitting the round records. One serial pass over the whole
+     timeline replaces the old serial replay inside every barrier. *)
+  let flush_frames () =
+    let fa = frames.Ibuf.a in
+    while !fpos < frames.Ibuf.len do
+      incr frame_no;
+      let p = !fpos in
+      let rnd = fa.(p) in
+      let nc = fa.(p + 1) in
+      let active = fa.(p + 2) in
+      let msgs = fa.(p + 3) in
+      let bits = fa.(p + 4) in
+      let tally = Option.is_some metrics in
+      Ibuf.clear rbuf;
+      for s = 0 to nc - 1 do
+        let wm = fa.(p + 5 + s) in
+        replay ~rnd ~tally s (cursor.(s) / 2) (wm / 2);
+        cursor.(s) <- wm
+      done;
+      (match metrics with
+      | Some m ->
+          for i = 0 to rbuf.Ibuf.len - 1 do
+            let v = rbuf.Ibuf.a.(i) in
+            for d = xadj.(v) to xadj.(v + 1) - 1 do
+              if mload.(d) > 0 then
+                Metrics.note_round_edge_at m
+                  ~dir:((2 * dedge.(d)) + if srcs.(d) < v then 0 else 1)
+                  ~bits:mload.(d)
+            done
+          done;
+          for i = 0 to mtouch.Ibuf.len - 1 do
+            mload.(mtouch.Ibuf.a.(i)) <- 0
+          done;
+          Ibuf.clear mtouch;
+          Metrics.record_round m ~round:(base + rnd) ~active ~messages:msgs
+            ~bits
+      | None -> ());
+      (match trace with
+      | Some tr ->
+          Trace.on_round tr ~round:(base + rnd) ~active ~messages:msgs ~bits
+      | None -> ());
+      fpos := p + 5 + nc
     done
   in
   (* First index in the sorted active prefix holding a node >= x. *)
@@ -853,26 +1046,19 @@ let exec_parallel ~domains ~epoch ~steal ?bandwidth ?max_rounds
     in
     go 0 !n_active
   in
-  let commit_round ~active =
-    (match metrics with
-    | Some m ->
-        for i = 0 to !n_staged - 1 do
-          let v = staged.(i) in
-          for d = xadj.(v) to xadj.(v + 1) - 1 do
-            if load.(d) > 0 then
-              Metrics.note_round_edge_at m
-                ~dir:((2 * dedge.(d)) + if srcs.(d) < v then 0 else 1)
-                ~bits:load.(d)
-          done
-        done;
-        Metrics.record_round m ~round:(base + !round) ~active
-          ~messages:!msgs_round ~bits:!bits_round
-    | None -> ());
-    (match trace with
-    | Some tr ->
-        Trace.on_round tr ~round:(base + !round) ~active ~messages:!msgs_round
-          ~bits:!bits_round
-    | None -> ());
+  (* Commit one chunk-mode (or init) round: when observing, append a
+     frame for the run-end merge; totals fold either way. *)
+  let commit_round ~nc ~active =
+    if observing then begin
+      Ibuf.push frames !round;
+      Ibuf.push frames nc;
+      Ibuf.push frames active;
+      Ibuf.push frames !msgs_round;
+      Ibuf.push frames !bits_round;
+      for s = 0 to nc - 1 do
+        Ibuf.push frames sl_events.(s).Ibuf.len
+      done
+    end;
     if active > !active_peak then active_peak := active;
     total_msgs := !total_msgs + !msgs_round;
     total_bits := !total_bits + !bits_round
@@ -883,34 +1069,89 @@ let exec_parallel ~domains ~epoch ~steal ?bandwidth ?max_rounds
     shutdown ();
     raise e
   in
+  (* Deliver the boundary mail staged during a width-1 section: walk
+     destination shards, draining slots in ascending order — each
+     destination's box/has_mail cells get exactly one writer, and slot
+     order preserves the sequential per-dart cons order. Serial when the
+     volume wouldn't pay for a dispatch. Flushing cannot fail: darts
+     were resolved and bandwidth charged at send time. *)
+  let flush_boundary nc =
+    let total = ref 0 in
+    for s = 0 to nc - 1 do
+      for t = 0 to k - 1 do
+        total := !total + ob_d.(s).(t).Ibuf.len
+      done
+    done;
+    if !total > 0 then begin
+      let flush_to t =
+        let fs = fl_staged.(t) in
+        for s = 0 to nc - 1 do
+          let db = ob_d.(s).(t) and mb = ob_m.(s).(t) in
+          for j = 0 to db.Ibuf.len - 1 do
+            let d = db.Ibuf.a.(j) in
+            let msg = mb.Mbuf.a.(j) in
+            (match box.(d) with
+            | [] ->
+                let v = head.(d) in
+                if not has_mail.(v) then begin
+                  has_mail.(v) <- true;
+                  Ibuf.push fs v
+                end
+            | _ :: _ -> ());
+            box.(d) <- msg :: box.(d)
+          done;
+          Ibuf.clear db;
+          Mbuf.clear mb
+        done
+      in
+      if !total < 512 || k <= 1 then
+        for t = 0 to k - 1 do
+          flush_to t
+        done
+      else Pool.run pool ~tasks:k flush_to;
+      for t = 0 to k - 1 do
+        let fs = fl_staged.(t) in
+        for j = 0 to fs.Ibuf.len - 1 do
+          staged.(!n_staged) <- fs.Ibuf.a.(j);
+          incr n_staged
+        done;
+        Ibuf.clear fs
+      done
+    end
+  in
   (* Fold one width-1 parallel section (init or a chunked round) back
-     into the global round state; on error, replay only the sequential
-     prefix and re-raise. Chunks are contiguous ascending slices of the
-     visit order, so slot order = sequential order and the lowest erring
-     slot holds the error a sequential sweep would hit first. *)
+     into the global round state; on error, flush the frame log and
+     replay only the sequential prefix of the failing round, then
+     re-raise. Chunks are contiguous ascending slices of the visit
+     order, so slot order = sequential order and the lowest erring slot
+     holds the error a sequential sweep would hit first. *)
   let merge_slots nc =
     let erri = ref (-1) in
     for i = nc - 1 downto 0 do
-      if sl_err.(i) <> None then erri := i
+      if sl.(i).a_err <> None then erri := i
     done;
     if !erri >= 0 then begin
-      let { pos; err; _ } =
-        match sl_err.(!erri) with Some e -> e | None -> assert false
+      let { rnd; pos; err } =
+        match sl.(!erri).a_err with Some e -> e | None -> assert false
       in
       if observing then begin
+        flush_frames ();
         for i = 0 to !erri - 1 do
-          replay ~tally:false i 0 (sl_events.(i).Ibuf.len / 2)
+          replay ~rnd ~tally:false i
+            (cursor.(i) / 2)
+            (sl_events.(i).Ibuf.len / 2)
         done;
-        replay ~tally:false !erri 0 (pos / 2)
+        replay ~rnd ~tally:false !erri (cursor.(!erri) / 2) (pos / 2)
       end;
       fail_with err
     end;
+    flush_boundary nc;
     for i = 0 to nc - 1 do
-      msgs_round := !msgs_round + sl_msgs.(i);
-      bits_round := !bits_round + sl_bits.(i);
-      if sl_maxmsg.(i) > !max_msg_bits then max_msg_bits := sl_maxmsg.(i);
-      if sl_maxburst.(i) > !max_burst then max_burst := sl_maxburst.(i);
-      if observing then replay ~tally:false i 0 (sl_events.(i).Ibuf.len / 2);
+      let a = sl.(i) in
+      msgs_round := !msgs_round + a.a_msgs;
+      bits_round := !bits_round + a.a_bits;
+      if a.a_maxmsg > !max_msg_bits then max_msg_bits := a.a_maxmsg;
+      if a.a_maxburst > !max_burst then max_burst := a.a_maxburst;
       let st = sl_staged.(i) in
       for j = 0 to st.Ibuf.len - 1 do
         let w = st.Ibuf.a.(j) in
@@ -920,12 +1161,11 @@ let exec_parallel ~domains ~epoch ~steal ?bandwidth ?max_rounds
           incr n_staged
         end
       done;
-      sl_msgs.(i) <- 0;
-      sl_bits.(i) <- 0;
-      sl_maxmsg.(i) <- 0;
-      sl_maxburst.(i) <- 0;
-      Ibuf.clear sl_staged.(i);
-      Ibuf.clear sl_events.(i)
+      a.a_msgs <- 0;
+      a.a_bits <- 0;
+      a.a_maxmsg <- 0;
+      a.a_maxburst <- 0;
+      Ibuf.clear sl_staged.(i)
     done
   in
   (* One shard's whole epoch: up to [e] fused deliver+compute rounds
@@ -959,13 +1199,12 @@ let exec_parallel ~domains ~epoch ~steal ?bandwidth ?max_rounds
           has_mail.(v) <- false;
           let acc = ref [] in
           for d = xadj.(v + 1) - 1 downto xadj.(v) do
-            (match box.(d) with
+            match box.(d) with
             | [] -> ()
             | msgs ->
                 let u = srcs.(d) in
                 List.iter (fun m -> acc := (u, m) :: !acc) msgs;
-                box.(d) <- []);
-            load.(d) <- 0
+                box.(d) <- []
           done;
           inbox.(v) <- !acc
         done;
@@ -975,6 +1214,7 @@ let exec_parallel ~domains ~epoch ~steal ?bandwidth ?max_rounds
           let (s, out) = proto.round g v states.(v) inbox.(v) in
           inbox.(v) <- [];
           states.(v) <- s;
+          sl.(i).a_tick <- sl.(i).a_tick + 1;
           List.iter (send i rnd v) out
         done;
         (* Dedup this round's raw (per-dart) stagings into the epoch log
@@ -988,8 +1228,8 @@ let exec_parallel ~domains ~epoch ~steal ?bandwidth ?max_rounds
             Ibuf.push dst w
           end
         done;
-        Ibuf.push rl sl_msgs.(i);
-        Ibuf.push rl sl_bits.(i);
+        Ibuf.push rl sl.(i).a_msgs;
+        Ibuf.push rl sl.(i).a_bits;
         Ibuf.push rl !acount;
         Ibuf.push rl sl_events.(i).Ibuf.len;
         Ibuf.push rl dst.Ibuf.len;
@@ -1004,13 +1244,14 @@ let exec_parallel ~domains ~epoch ~steal ?bandwidth ?max_rounds
     with
     | Stop_shard -> ()
     | e ->
-        sl_err.(i) <-
+        sl.(i).a_err <-
           Some { rnd = !lrnd; pos = sl_events.(i).Ibuf.len; err = e }
   in
-  (* Serial epoch merge: replay the shards' logs round by round in shard
-     order. Shard order per round = ascending node order = the
-     sequential engine's visit order, because epochs only run when every
-     send stays shard-internal. *)
+  (* Serial epoch merge: fold the shards' round logs into per-round
+     totals in shard order. Shard order per round = ascending node order
+     = the sequential engine's visit order, because epochs only run when
+     every send stays shard-internal. When observing, each local round
+     appends one frame; messages replay at run end, not here. *)
   let merge_epoch () =
     let round_base = !round in
     let cnt i = sh_rlog.(i).Ibuf.len / 5 in
@@ -1025,7 +1266,7 @@ let exec_parallel ~domains ~epoch ~steal ?bandwidth ?max_rounds
     let err_slot = ref (-1) in
     let err_rnd = ref max_int in
     for i = k - 1 downto 0 do
-      match sl_err.(i) with
+      match sl.(i).a_err with
       | Some { rnd; _ } when rnd <= !err_rnd ->
           err_rnd := rnd;
           err_slot := i
@@ -1041,7 +1282,6 @@ let exec_parallel ~domains ~epoch ~steal ?bandwidth ?max_rounds
         !r
       end
     in
-    let tally = Option.is_some metrics in
     for j = 1 to r_full do
       incr round;
       let m_j = ref 0 and b_j = ref 0 and a_j = ref 0 in
@@ -1049,42 +1289,28 @@ let exec_parallel ~domains ~epoch ~steal ?bandwidth ?max_rounds
         if cnt i >= j then begin
           m_j := !m_j + rl_get i j 0 - rl_get i (j - 1) 0;
           b_j := !b_j + rl_get i j 1 - rl_get i (j - 1) 1;
-          a_j := !a_j + sh_rlog.(i).Ibuf.a.((5 * (j - 1)) + 2);
-          if observing then
-            replay ~tally i (rl_get i (j - 1) 3 / 2) (rl_get i j 3 / 2)
+          a_j := !a_j + sh_rlog.(i).Ibuf.a.((5 * (j - 1)) + 2)
         end
       done;
-      (* Burst accounting, exactly the sequential commit: scan the
-         round's staged recipients' in-darts against the replayed
-         per-dart loads, in staging order. *)
-      (match metrics with
-      | Some m ->
-          for i = 0 to k - 1 do
-            if cnt i >= j then begin
-              let dst = sh_dstaged.(i) in
-              for idx = rl_get i (j - 1) 4 to rl_get i j 4 - 1 do
-                let v = dst.Ibuf.a.(idx) in
-                for d = xadj.(v) to xadj.(v + 1) - 1 do
-                  if mload.(d) > 0 then
-                    Metrics.note_round_edge_at m
-                      ~dir:((2 * dedge.(d)) + if srcs.(d) < v then 0 else 1)
-                      ~bits:mload.(d)
-                done
-              done
-            end
-          done;
-          for idx = 0 to mtouch.Ibuf.len - 1 do
-            mload.(mtouch.Ibuf.a.(idx)) <- 0
-          done;
-          Ibuf.clear mtouch;
-          Metrics.record_round m ~round:(base + !round) ~active:!a_j
-            ~messages:!m_j ~bits:!b_j
-      | None -> ());
-      (match trace with
-      | Some tr ->
-          Trace.on_round tr ~round:(base + !round) ~active:!a_j ~messages:!m_j
-            ~bits:!b_j
-      | None -> ());
+      if observing then begin
+        Ibuf.push frames !round;
+        Ibuf.push frames k;
+        Ibuf.push frames !a_j;
+        Ibuf.push frames !m_j;
+        Ibuf.push frames !b_j;
+        (* A shard that died out before local round j keeps its final
+           watermark — an empty replay slice at merge time. A shard that
+           never ran this epoch has no log rows at all; its watermark is
+           its event length as it stood, which the cursor already equals
+           (rl_get would say 0 and rewind the cursor). *)
+        for i = 0 to k - 1 do
+          let wm =
+            if cnt i = 0 then sl_events.(i).Ibuf.len
+            else rl_get i (min j (cnt i)) 3
+          in
+          Ibuf.push frames wm
+        done
+      end;
       if !a_j > !active_peak then active_peak := !a_j;
       total_msgs := !total_msgs + !m_j;
       total_bits := !total_bits + !b_j;
@@ -1099,16 +1325,17 @@ let exec_parallel ~domains ~epoch ~steal ?bandwidth ?max_rounds
          the sequential engine raises before its commit. *)
       let slot = !err_slot in
       let jl = !err_rnd - round_base in
-      let { pos; err; _ } =
-        match sl_err.(slot) with Some e -> e | None -> assert false
+      let { rnd; pos; err } =
+        match sl.(slot).a_err with Some e -> e | None -> assert false
       in
       incr round;
       if observing then begin
+        flush_frames ();
         for i = 0 to slot - 1 do
           if cnt i >= jl then
-            replay ~tally:false i (rl_get i (jl - 1) 3 / 2) (rl_get i jl 3 / 2)
+            replay ~rnd ~tally:false i (cursor.(i) / 2) (rl_get i jl 3 / 2)
         done;
-        replay ~tally:false slot (rl_get slot (jl - 1) 3 / 2) (pos / 2)
+        replay ~rnd ~tally:false slot (cursor.(slot) / 2) (pos / 2)
       end;
       fail_with err
     end;
@@ -1127,14 +1354,14 @@ let exec_parallel ~domains ~epoch ~steal ?bandwidth ?max_rounds
       end
     done;
     for i = 0 to k - 1 do
-      if sl_maxmsg.(i) > !max_msg_bits then max_msg_bits := sl_maxmsg.(i);
-      if sl_maxburst.(i) > !max_burst then max_burst := sl_maxburst.(i);
-      sl_msgs.(i) <- 0;
-      sl_bits.(i) <- 0;
-      sl_maxmsg.(i) <- 0;
-      sl_maxburst.(i) <- 0;
+      let a = sl.(i) in
+      if a.a_maxmsg > !max_msg_bits then max_msg_bits := a.a_maxmsg;
+      if a.a_maxburst > !max_burst then max_burst := a.a_maxburst;
+      a.a_msgs <- 0;
+      a.a_bits <- 0;
+      a.a_maxmsg <- 0;
+      a.a_maxburst <- 0;
       Ibuf.clear sl_staged.(i);
-      Ibuf.clear sl_events.(i);
       Ibuf.clear sh_dstaged.(i);
       Ibuf.clear sh_rlog.(i);
       Ibuf.clear sh_cur.(i)
@@ -1149,18 +1376,23 @@ let exec_parallel ~domains ~epoch ~steal ?bandwidth ?max_rounds
         for v = lo to hi - 1 do
           let (s, out) = proto.init g v in
           states.(v) <- s;
+          sl.(c).a_tick <- sl.(c).a_tick + 1;
           List.iter (send c 0 v) out
         done
       with
       | Stop_shard -> ()
-      | e -> sl_err.(c) <- Some { rnd = 0; pos = sl_events.(c).Ibuf.len; err = e });
+      | e ->
+          sl.(c).a_err <-
+            Some { rnd = 0; pos = sl_events.(c).Ibuf.len; err = e });
   merge_slots nc_init;
-  if !msgs_round > 0 then commit_round ~active:n;
+  if !msgs_round > 0 then commit_round ~nc:nc_init ~active:n;
   while !n_staged > 0 do
-    if !round >= max_rounds then
+    if !round >= max_rounds then begin
+      if observing then flush_frames ();
       fail_with
         (No_quiescence
-           { round = !round; active = !n_staged; messages = !msgs_round });
+           { round = !round; active = !n_staged; messages = !msgs_round })
+    end;
     let kact = !n_staged in
     Array.blit staged 0 active_buf 0 kact;
     sort_prefix active_buf kact;
@@ -1196,18 +1428,18 @@ let exec_parallel ~domains ~epoch ~steal ?bandwidth ?max_rounds
               has_mail.(v) <- false;
               let acc = ref [] in
               for d = xadj.(v + 1) - 1 downto xadj.(v) do
-                (match box.(d) with
+                match box.(d) with
                 | [] -> ()
                 | msgs ->
                     let u = srcs.(d) in
                     List.iter (fun m -> acc := (u, m) :: !acc) msgs;
-                    box.(d) <- []);
-                load.(d) <- 0
+                    box.(d) <- []
               done;
               inbox.(v) <- !acc
             done
           with e ->
-            sl_err.(c) <- Some { rnd; pos = sl_events.(c).Ibuf.len; err = e });
+            sl.(c).a_err <-
+              Some { rnd; pos = sl_events.(c).Ibuf.len; err = e });
       Pool.run pool ~tasks:nc (fun c ->
           let lo = c * kact / nc and hi = (c + 1) * kact / nc in
           try
@@ -1216,20 +1448,365 @@ let exec_parallel ~domains ~epoch ~steal ?bandwidth ?max_rounds
               let (s, out) = proto.round g v states.(v) inbox.(v) in
               inbox.(v) <- [];
               states.(v) <- s;
+              sl.(c).a_tick <- sl.(c).a_tick + 1;
               List.iter (send c rnd v) out
             done
           with
           | Stop_shard -> ()
           | e ->
-              sl_err.(c) <- Some { rnd; pos = sl_events.(c).Ibuf.len; err = e });
+              sl.(c).a_err <-
+                Some { rnd; pos = sl_events.(c).Ibuf.len; err = e });
       merge_slots nc;
-      commit_round ~active:kact
+      commit_round ~nc ~active:kact
     end
     else begin
       let round_base = !round in
       Pool.run pool ~tasks:k (fun i -> shard_epoch i round_base e);
       merge_epoch ()
     end
+  done;
+  if observing then flush_frames ();
+  shutdown ();
+  (match metrics with Some m -> Metrics.add_rounds m !round | None -> ());
+  let verdict =
+    match (Observe.bounds observe, metrics) with
+    | Some b, Some m ->
+        Some
+          (Bounds.check ?c_rounds:b.Observe.c_rounds ?c_bits:b.Observe.c_bits
+             ~bandwidth ~n ~d:b.Observe.d m)
+    | _ -> None
+  in
+  {
+    states;
+    rounds = !round;
+    report =
+      {
+        messages = !total_msgs;
+        bits = !total_bits;
+        max_message_bits = !max_msg_bits;
+        max_round_edge_bits = !max_burst;
+        active_peak = !active_peak;
+        verdict;
+      };
+  }
+
+(* The sharded fault-aware clocked engine: the clocked loop of
+   [exec_faulty] with the compute phase parallelized over [k] contiguous
+   node shards. Each shard steps its own nodes against shard-owned
+   state/inbox cells and stages its sends as (sender, recipient, msg)
+   triples; a {e serial} network phase then walks the staged sends in
+   ascending shard order — which is ascending node order, the sequential
+   engine's visit order — doing everything order-sensitive in one
+   thread: metrics, trace, bandwidth accounting, fault fates, delivery
+   scheduling and the plan's stats.
+
+   Fault decisions come from keyed {!Fault.substream}s — per-message
+   fates from [(sender's shard, send round, target dart)], adversarial
+   inbox permutes from [(recipient's shard, delivery round, nd + v)] —
+   so the run is a pure function of (seed, domains, spec, protocol,
+   graph): deterministic at every domain count, but {e stream-distinct}
+   from the [domains = 1] engine, which consumes one stream in visit
+   order. All messages of one dart in one round draw from one substream
+   (a per-dart table in the serial phase), keeping their fates
+   independent draws rather than replays of the same position.
+
+   Error faithfulness: a compute error in shard i suppresses the
+   network phase for shards > i and for the erring shard's unstaged
+   tail, so the error surfaces exactly after the sends a sequential
+   sweep would have processed first; bandwidth violations raise from
+   the serial phase mid-walk, as the sequential engine does. *)
+let exec_faulty_par ~plan ~domains ?bandwidth ?max_rounds
+    ?(observe = Observe.none) g proto =
+  let n = Gr.n g in
+  let k = domains in
+  let bandwidth =
+    match bandwidth with Some b -> b | None -> default_bandwidth g
+  in
+  let max_rounds = match max_rounds with Some r -> r | None -> (16 * n) + 64 in
+  let trace = Observe.trace observe in
+  let metrics =
+    match (Observe.metrics observe, Observe.bounds observe) with
+    | None, Some _ -> Some (Metrics.create g)
+    | m, _ -> m
+  in
+  let base = match metrics with Some m -> Metrics.rounds m | None -> 0 in
+  let xadj = Gr.dart_offsets g in
+  let srcs = Gr.dart_sources g in
+  let dedge = Gr.dart_edges g in
+  let rev = Gr.dart_reversals g in
+  let nd = Array.length srcs in
+  let dir_of_dart = Array.make (max 1 nd) 0 in
+  for v = 0 to n - 1 do
+    for d = xadj.(v) to xadj.(v + 1) - 1 do
+      dir_of_dart.(d) <- (2 * dedge.(d)) + if srcs.(d) < v then 0 else 1
+    done
+  done;
+  let shard_lo = Array.init (k + 1) (fun i -> i * n / k) in
+  let sid = Array.make (max 1 n) 0 in
+  for i = 0 to k - 1 do
+    for v = shard_lo.(i) to shard_lo.(i + 1) - 1 do
+      sid.(v) <- i
+    done
+  done;
+  let round = ref 0 in
+  let msgs_round = ref 0 in
+  let bits_round = ref 0 in
+  let total_msgs = ref 0 in
+  let total_bits = ref 0 in
+  let max_msg_bits = ref 0 in
+  let max_burst = ref 0 in
+  let active_peak = ref 0 in
+  (* Load/touched are only read and written by the serial network
+     phase. *)
+  let load = Array.make (max 1 nd) 0 in
+  let touched = ref [] in
+  let pending : (int, (int * int * int * int * 'm) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let in_flight = ref 0 in
+  let seq = ref 0 in
+  (* Per-shard staged sends of the current phase: (u, v) int pairs plus
+     the message payloads, in the shard's node order. [sh_err] holds the
+     shard's first compute error as (node, exn). *)
+  let ob_uv = Array.init k (fun _ -> Ibuf.make 64) in
+  let ob_m : 'm Mbuf.t array = Array.init k (fun _ -> Mbuf.make ()) in
+  let sh_err : (int * exn) option array = Array.make k None in
+  let pool = Pool.create ~domains:k () in
+  let shutdown () = Pool.shutdown pool in
+  let fail_with e =
+    shutdown ();
+    raise e
+  in
+  let on_fault kind ~src ~dst =
+    (match metrics with Some m -> Metrics.note_fault m ~kind | None -> ());
+    match trace with
+    | Some tr -> Trace.on_fault tr ~round:(base + !round) ~kind ~src ~dst
+    | None -> ()
+  in
+  let schedule ~src ~dst msg (c : Fault.delivery) =
+    if c.Fault.offset > 0 then on_fault "delay" ~src ~dst;
+    let key =
+      match c.Fault.key with
+      | Some key ->
+          on_fault "reorder" ~src ~dst;
+          key
+      | None -> !seq
+    in
+    let at = !round + 1 + c.Fault.offset in
+    let sofar = try Hashtbl.find pending at with Not_found -> [] in
+    Hashtbl.replace pending at ((dst, src, key, !seq, msg) :: sofar);
+    incr seq;
+    incr in_flight
+  in
+  (* The serial network phase: walk the shards' staged sends in shard
+     (= node) order, charging metrics and bandwidth and drawing each
+     message's fate from the dart's keyed substream. A shard's compute
+     error re-raises after its staged prefix — and before any higher
+     shard's sends, which a sequential sweep would never have reached. *)
+  let apply_sends r =
+    let subs : (int, Fault.sub) Hashtbl.t = Hashtbl.create 16 in
+    for i = 0 to k - 1 do
+      Hashtbl.reset subs;
+      let uv = ob_uv.(i) in
+      let mb = ob_m.(i) in
+      for j = 0 to (uv.Ibuf.len / 2) - 1 do
+        let u = uv.Ibuf.a.(2 * j) in
+        let v = uv.Ibuf.a.((2 * j) + 1) in
+        let msg = mb.Mbuf.a.(j) in
+        let d =
+          let s = rank srcs xadj.(u) (xadj.(u + 1) - 1) v in
+          if s < 0 then
+            fail_with
+              (Invalid_argument
+                 (Printf.sprintf
+                    "Network.run: node %d sent to non-neighbor %d" u v));
+          rev.(s)
+        in
+        let bits = proto.msg_bits msg in
+        (match metrics with
+        | Some m -> Metrics.add_message_at m ~dir:dir_of_dart.(d) ~bits
+        | None -> ());
+        (match trace with
+        | Some tr ->
+            Trace.on_message tr ~round:(base + !round) ~src:u ~dst:v ~bits
+        | None -> ());
+        incr msgs_round;
+        bits_round := !bits_round + bits;
+        if bits > !max_msg_bits then max_msg_bits := bits;
+        if load.(d) = 0 then touched := d :: !touched;
+        let now = load.(d) + bits in
+        load.(d) <- now;
+        if now > !max_burst then max_burst := now;
+        if now > bandwidth then
+          fail_with (Bandwidth_exceeded { round = !round; u; v; bits = now });
+        let sub =
+          match Hashtbl.find_opt subs d with
+          | Some sub -> sub
+          | None ->
+              let sub = Fault.substream plan ~shard:i ~round:r ~slot:d in
+              Hashtbl.add subs d sub;
+              sub
+        in
+        (match Fault.sub_fate sub with
+        | [] -> on_fault "drop" ~src:u ~dst:v
+        | [ c ] -> schedule ~src:u ~dst:v msg c
+        | cs ->
+            on_fault "duplicate" ~src:u ~dst:v;
+            List.iter (schedule ~src:u ~dst:v msg) cs)
+      done;
+      Ibuf.clear uv;
+      Mbuf.clear mb;
+      match sh_err.(i) with Some (_, e) -> fail_with e | None -> ()
+    done
+  in
+  let commit_round ~active =
+    (match metrics with
+    | Some m ->
+        List.iter
+          (fun d ->
+            Metrics.note_round_edge_at m ~dir:dir_of_dart.(d) ~bits:load.(d))
+          !touched;
+        Metrics.record_round m ~round:(base + !round) ~active
+          ~messages:!msgs_round ~bits:!bits_round
+    | None -> ());
+    (match trace with
+    | Some tr ->
+        Trace.on_round tr ~round:(base + !round) ~active ~messages:!msgs_round
+          ~bits:!bits_round
+    | None -> ());
+    if active > !active_peak then active_peak := active;
+    total_msgs := !total_msgs + !msgs_round;
+    total_bits := !total_bits + !bits_round
+  in
+  let reset_loads () =
+    List.iter (fun d -> load.(d) <- 0) !touched;
+    touched := []
+  in
+  let apply_transitions r =
+    List.iter
+      (fun (node, what) ->
+        match what with
+        | `Crash -> on_fault "crash" ~src:node ~dst:(-1)
+        | `Restart -> on_fault "restart" ~src:node ~dst:(-1))
+      (Fault.transitions plan ~round:r)
+  in
+  apply_transitions 0;
+  (* One extra (discarded) init of node 0 seeds the array (protocols are
+     pure); shards then init their own nodes in parallel, staging the
+     spontaneous sends of live nodes. *)
+  let states = Array.make n (fst (proto.init g 0)) in
+  let inbox : (int * 'm) list array = Array.make (max 1 n) [] in
+  Pool.run pool ~tasks:k (fun i ->
+      try
+        for v = shard_lo.(i) to shard_lo.(i + 1) - 1 do
+          let (s, out) = proto.init g v in
+          states.(v) <- s;
+          if not (Fault.down plan ~node:v ~round:0) then
+            List.iter
+              (fun (w, msg) ->
+                Ibuf.push ob_uv.(i) v;
+                Ibuf.push ob_uv.(i) w;
+                Mbuf.push ob_m.(i) msg)
+              out
+        done
+      with e ->
+        (* proto.init is all that can raise here; record the node. *)
+        (match sh_err.(i) with
+        | None -> sh_err.(i) <- Some (shard_lo.(i), e)
+        | Some _ -> ()));
+  apply_sends 0;
+  if !msgs_round > 0 then commit_round ~active:n;
+  reset_loads ();
+  let landed : (int * int * int * 'm) list array = Array.make (max 1 n) [] in
+  let idle = ref 0 in
+  let grace = Fault.grace plan in
+  let horizon = Fault.horizon plan in
+  let pending_recipients () =
+    let seen = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun _ copies ->
+        List.iter (fun (dst, _, _, _, _) -> Hashtbl.replace seen dst ()) copies)
+      pending;
+    Hashtbl.length seen
+  in
+  if !msgs_round = 0 && !in_flight = 0 then idle := grace;
+  while not (!idle >= grace && !round >= horizon) do
+    if !round >= max_rounds then
+      fail_with
+        (No_quiescence
+           {
+             round = !round;
+             active = pending_recipients ();
+             messages = !msgs_round;
+           });
+    incr round;
+    let r = !round in
+    apply_transitions r;
+    let due = try List.rev (Hashtbl.find pending r) with Not_found -> [] in
+    Hashtbl.remove pending r;
+    List.iter
+      (fun (dst, src, key, sq, msg) ->
+        decr in_flight;
+        if Fault.down plan ~node:dst ~round:r then begin
+          Fault.note_crash_lost plan;
+          on_fault "crash-lost" ~src ~dst
+        end
+        else landed.(dst) <- (src, key, sq, msg) :: landed.(dst))
+      due;
+    (* Sort each hit inbox by (sender, key, seq); adversarial mode then
+       shuffles it from the recipient's keyed substream ([nd + v] cannot
+       collide with a fate key, which is a dart slot). *)
+    let active = ref 0 in
+    for v = 0 to n - 1 do
+      match landed.(v) with
+      | [] -> ()
+      | copies ->
+          incr active;
+          landed.(v) <- [];
+          let a = Array.of_list copies in
+          Array.sort
+            (fun (s1, k1, q1, _) (s2, k2, q2, _) ->
+              compare (s1, k1, q1) (s2, k2, q2))
+            a;
+          if (Fault.spec plan).Fault.adversarial then
+            Fault.sub_permute
+              (Fault.substream plan ~shard:sid.(v) ~round:r ~slot:(nd + v))
+              a;
+          inbox.(v) <-
+            Array.fold_right (fun (src, _, _, m) acc -> (src, m) :: acc) a []
+    done;
+    msgs_round := 0;
+    bits_round := 0;
+    (* Compute: every live node steps. Shards own disjoint state/inbox
+       ranges; sends are staged, so no shard writes outside its range. *)
+    Pool.run pool ~tasks:k (fun i ->
+        let v = ref shard_lo.(i) in
+        let hi = shard_lo.(i + 1) in
+        (try
+           while !v < hi do
+             let u = !v in
+             if not (Fault.down plan ~node:u ~round:r) then begin
+               let (s, out) = proto.round g u states.(u) inbox.(u) in
+               inbox.(u) <- [];
+               states.(u) <- s;
+               List.iter
+                 (fun (w, msg) ->
+                   Ibuf.push ob_uv.(i) u;
+                   Ibuf.push ob_uv.(i) w;
+                   Mbuf.push ob_m.(i) msg)
+                 out
+             end
+             else inbox.(u) <- [];
+             incr v
+           done
+         with e ->
+           match sh_err.(i) with
+           | None -> sh_err.(i) <- Some (!v, e)
+           | Some _ -> ()));
+    apply_sends r;
+    commit_round ~active:!active;
+    reset_loads ();
+    idle := if !msgs_round = 0 && !in_flight = 0 then !idle + 1 else 0
   done;
   shutdown ();
   (match metrics with Some m -> Metrics.add_rounds m !round | None -> ());
@@ -1255,16 +1832,18 @@ let exec_parallel ~domains ~epoch ~steal ?bandwidth ?max_rounds
       };
   }
 
-(* One entry point, three engines: the clean flat-array loop whenever no
+(* One entry point, four engines: the clean flat-array loop whenever no
    fault plan is installed and one domain suffices — kept bit-identical
    to the pre-fault engine and allocation-free per round — the
    epoch-batched work-stealing loop when [domains > 1] (bit-identical to
-   the clean loop by construction), and the clocked fault-aware loop
-   when a plan is installed. A fault plan and [domains > 1] are mutually
-   exclusive: the clocked engine draws every fault decision from one
-   seeded stream in engine-visit order, which a sharded visit order
-   would scramble. [epoch]/[steal] only shape the parallel engine's
-   schedule — with one domain (or a fault plan) they are ignored. *)
+   the clean loop by construction), the sequential clocked fault-aware
+   loop when a plan is installed, and the sharded clocked loop when a
+   plan and [domains > 1] compose. The sharded clocked run is
+   deterministic per (seed, domains) but stream-distinct from
+   [domains = 1]: fault decisions come from keyed substreams instead of
+   the sequential engine's single visit-order stream. [epoch]/[steal]
+   only shape the fault-free parallel engine's schedule — elsewhere
+   they are ignored. *)
 let exec ?(config = Config.default) g proto =
   let { Config.domains; epoch; steal; bandwidth; max_rounds; observe; faults } =
     config
@@ -1274,12 +1853,11 @@ let exec ?(config = Config.default) g proto =
   if steal < 1 then invalid_arg "Network.exec: steal must be at least 1";
   match faults with
   | Some plan ->
-      if domains > 1 then
-        invalid_arg
-          "Network.exec: a fault plan requires domains = 1 — the clocked \
-           fault-aware engine is sequential (its seeded fault stream is \
-           consumed in engine-visit order)";
-      exec_faulty ~plan ?bandwidth ?max_rounds ~observe g proto
+      let k = min domains (max 1 (Gr.n g)) in
+      if k <= 1 then exec_faulty ~plan ?bandwidth ?max_rounds ~observe g proto
+      else
+        exec_faulty_par ~plan ~domains:k ?bandwidth ?max_rounds ~observe g
+          proto
   | None ->
       let k = min domains (Gr.n g) in
       if k <= 1 then exec_clean ?bandwidth ?max_rounds ~observe g proto

@@ -95,7 +95,9 @@ module Config : sig
             {!default_bandwidth}. *)
     max_rounds : int option;  (** livelock guard; default [16n + 64]. *)
     observe : Observe.t;  (** observation sinks (default {!Observe.none}). *)
-    faults : Fault.plan option;  (** fault plan; requires [domains = 1]. *)
+    faults : Fault.plan option;
+        (** fault plan; composes with any [domains] — see {!exec} for
+            the per-domain-count determinism contract. *)
   }
 
   val default : t
@@ -145,8 +147,8 @@ val exec : ?config:Config.t -> Gr.t -> ('s, 'm) protocol -> 's run_result
     and the run ends only after the plan's grace period of consecutive
     quiet rounds. Fault events are counted into the metrics sink
     ({!Metrics.faults}) and recorded on the trace timeline
-    ({!Trace.on_fault}). Same plan spec + same seed ⇒ identical run.
-    DESIGN.md §9 specifies the fault model precisely.
+    ({!Trace.on_fault}). Same plan spec + same seed + same [domains] ⇒
+    identical run. DESIGN.md §9 specifies the fault model precisely.
 
     [domains > 1] runs the epoch-batched work-stealing engine: the node
     range splits into contiguous shards; width-1 rounds spread the
@@ -158,23 +160,34 @@ val exec : ?config:Config.t -> Gr.t -> ('s, 'm) protocol -> 's run_result
     timelines — is {b bit-identical} to the sequential engine for every
     (domains, epoch, steal), including which error is raised and what
     the sinks saw before it; the differential suite pins this across
-    domain counts and epoch widths. Two restrictions come with
-    [domains > 1]: the protocol's [init] and [round] closures must be
-    pure up to their returned values (they run concurrently for
-    different nodes, and [init g 0] is called one extra time to seed
-    internal storage), and a {!Fault.plan} may not be combined with it —
-    the clocked fault engine draws its seeded fault stream in
-    engine-visit order, which sharding would scramble, so [exec] raises
-    [Invalid_argument] rather than silently degrading. A fault plan
-    {e with} [domains = 1] is always legal; [epoch]/[steal] are simply
-    ignored on the clocked (and plain sequential) engines. DESIGN.md
-    §10 and §13 specify the parallel engine and the epoch scheduler.
+    domain counts and epoch widths. Observation is deferred: slots log
+    events during the run and one serial pass at run end rebuilds the
+    exact sequential metrics/trace timeline (an observed parallel run
+    retains its event log for the run's duration; unobserved runs log
+    nothing). One restriction comes with [domains > 1]: the protocol's
+    [init] and [round] closures must be pure up to their returned
+    values (they run concurrently for different nodes, and [init g 0]
+    is called one extra time to seed internal storage).
+
+    A fault plan {e composes} with [domains > 1]: the run executes on
+    the sharded clocked engine — parallel compute over contiguous node
+    shards, one serial network phase per round for everything
+    order-sensitive — and every fault decision is drawn from a keyed
+    {!Fault.substream}, making the run a pure function of
+    (seed, domains, spec, protocol, graph). Runs are deterministic at
+    every domain count but {e seed-compatible, stream-distinct} across
+    domain counts: the same seed yields an equally valid, different
+    fault schedule at [domains = 1] (which consumes one stream in
+    engine-visit order) and at each [domains > 1]. Reproduce a faulted
+    run by fixing both the seed and the domain count. [epoch]/[steal]
+    are ignored on the clocked (and plain sequential) engines.
+    DESIGN.md §9, §10 and §13 specify the fault model, the parallel
+    engine and the epoch scheduler.
     @raise Bandwidth_exceeded when a node over-sends on an edge.
     @raise No_quiescence if [max_rounds] elapse without quiescence — a
     livelock guard for buggy protocols.
-    @raise Invalid_argument if a node addresses a non-neighbor, if
-    [domains], [epoch] or [steal] is [< 1], or if a fault plan is
-    combined with [domains > 1]. *)
+    @raise Invalid_argument if a node addresses a non-neighbor, or if
+    [domains], [epoch] or [steal] is [< 1]. *)
 
 val exec_opts :
   ?domains:int ->

@@ -17,6 +17,12 @@ let run_seq n f =
 let map ?jobs n f =
   if n < 0 then invalid_arg "Pool.map: negative task count";
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  (* Oversubscription guard: a sweep cannot go faster than the hardware,
+     and extra domains on a saturated host actively hurt (per-domain
+     minor heaps multiply GC work while the cores time-slice). Results
+     are jobs-independent by construction, so capping is unobservable
+     except in wall time. *)
+  let jobs = min jobs (default_jobs ()) in
   let jobs = min jobs n in
   if jobs <= 1 then run_seq n f
   else if not (Atomic.compare_and_set busy false true) then
@@ -94,13 +100,24 @@ let map ?jobs n f =
    run's fields when the coordinator writes, because [run] returns only
    after every party (workers and caller) has arrived for the current
    generation. *)
+(* The three hot atomics live on distinct cache lines: [gen] is spun on
+   by every parked-out worker, [next] is fetch-and-added once per task
+   claim, and [arrived] once per party per dispatch. An [Atomic.t] is a
+   two-word block, so allocating them back to back (as a record literal
+   does) lands all three on one line and every claim invalidates every
+   spinner. The pad arrays are allocated between the atomics and kept
+   reachable from the record — the standard separation idiom until
+   [Atomic.make_contended] (OCaml >= 5.2) is available here. *)
 type t = {
   parties : int;
   mutable job : int -> unit;
   mutable tasks : int;
   gen : int Atomic.t;
+  _pad_gen : int array;
   next : int Atomic.t;
+  _pad_next : int array;
   arrived : int Atomic.t;
+  _pad_arrived : int array;
   stop : bool Atomic.t;
   mutable err : (int * exn) option;  (* lowest failing index; under [em] *)
   em : Mutex.t;
@@ -173,14 +190,25 @@ let create ?domains () =
     | Some d when d >= 1 -> d
     | Some _ -> invalid_arg "Pool.create: domains must be at least 1"
   in
+  (* Sequence the allocations so each pad array physically separates
+     the atomic blocks it sits between (see the type's comment). *)
+  let gen = Atomic.make 0 in
+  let pad_gen = Array.make 15 0 in
+  let next = Atomic.make 0 in
+  let pad_next = Array.make 15 0 in
+  let arrived = Atomic.make 0 in
+  let pad_arrived = Array.make 15 0 in
   let t =
     {
       parties;
       job = nop;
       tasks = 0;
-      gen = Atomic.make 0;
-      next = Atomic.make 0;
-      arrived = Atomic.make 0;
+      gen;
+      _pad_gen = pad_gen;
+      next;
+      _pad_next = pad_next;
+      arrived;
+      _pad_arrived = pad_arrived;
       stop = Atomic.make false;
       err = None;
       em = Mutex.create ();

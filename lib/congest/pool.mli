@@ -36,7 +36,12 @@ val map : ?jobs:int -> int -> (int -> 'a) -> 'a array
 (** [map ~jobs n f] computes [[| f 0; ...; f (n-1) |]], running tasks on
     up to [jobs] domains (default {!default_jobs}; values [<= 1] run
     sequentially in the calling domain, as do sweeps with [n <= 1]).
-    Tasks are dealt to domains in contiguous chunks of [ceil(n / jobs)].
+    [jobs] is capped at {!default_jobs} — oversubscribing a host
+    multiplies per-domain GC work while the cores time-slice, so a
+    [--jobs 4] sweep on a 1-core container runs sequentially instead of
+    3.5x slower. Results are identical at every jobs value; only wall
+    time changes. Tasks are dealt to domains in contiguous chunks of
+    [ceil(n / jobs)].
 
     Nested use is rejected: a task that itself calls [map] gets
     [Invalid_argument] (wrapped in {!Task_failed} like any other task

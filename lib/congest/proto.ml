@@ -13,11 +13,7 @@ let exec_net ?(config = Network.Config.default) g proto =
   match config.Network.Config.faults with
   | None -> Network.exec ~config g proto
   | Some plan ->
-      if config.Network.Config.domains > 1 then
-        invalid_arg
-          "Proto: a fault plan requires domains = 1 — reliable delivery \
-           runs on the sequential clocked engine";
-      Reliable.exec
+      Reliable.exec ~domains:config.Network.Config.domains
         ?bandwidth:config.Network.Config.bandwidth
         ?max_rounds:config.Network.Config.max_rounds
         ~observe:config.Network.Config.observe ~faults:plan g proto

@@ -197,13 +197,13 @@ let wrap ?(timeout = 6) ?stats (p : ('s, 'm) Network.protocol) :
   in
   { Network.init; round; msg_bits }
 
-let exec ?bandwidth ?max_rounds ?observe ?faults ?timeout ?stats g p =
+let exec ?domains ?bandwidth ?max_rounds ?observe ?faults ?timeout ?stats g p =
   let base =
     match bandwidth with Some b -> b | None -> Network.default_bandwidth g
   in
   let wrapped = wrap ?timeout ?stats p in
   let config =
-    Network.Config.make
+    Network.Config.make ?domains
       ~bandwidth:((3 * base) + 128)
       ?max_rounds ?observe ?faults ()
   in

@@ -78,6 +78,7 @@ val header_bits : int
     [Ack] costs exactly this, a [Data] costs this plus its payload. *)
 
 val exec :
+  ?domains:int ->
   ?bandwidth:int ->
   ?max_rounds:int ->
   ?observe:Observe.t ->
@@ -92,8 +93,11 @@ val exec :
     is the {e inner} protocol's per-edge budget (default
     {!Network.default_bandwidth}); the engine itself is given
     [3 * bandwidth + 128] bits so headers, acks and retransmissions fit
-    — a constant factor, preserving the CONGEST [O(log n)] regime. The
-    report (messages, bits, bursts) describes the wire, overhead
-    included; the returned states are the inner ones.
+    — a constant factor, preserving the CONGEST [O(log n)] regime.
+    [domains] passes through to the engine: with a plan installed,
+    [domains > 1] runs the sharded clocked engine (deterministic per
+    [(seed, domains)], stream-distinct across domain counts — see
+    {!Network.exec}). The report (messages, bits, bursts) describes the
+    wire, overhead included; the returned states are the inner ones.
     @raise Network.Bandwidth_exceeded, Network.No_quiescence,
     Invalid_argument as {!Network.exec}. *)

@@ -199,9 +199,29 @@ let diff_one name proto g =
 (* The sharded engine against the sequential one: same exec entry point,
    a [~domains ~epoch] config versus the default — states, rounds,
    report, the full metrics sink and the message-level trace journal must
-   all be bit-identical at every (domains, epoch) point. *)
+   all be bit-identical at every (domains, epoch) point. The same grid
+   point is exercised three ways, because the engine's deferred
+   observation takes different paths for each: fully observed (metrics +
+   message-keeping trace — per-slot event logs, frame log, run-end
+   merge), metrics-only (same deferred path, no trace emission), and
+   unobserved (the benchmark hot path: no event buffering at all, plain
+   counter folds). *)
 let diff_sharded name proto g =
   let (r_seq, m_seq, t_seq) = run_exec proto g in
+  let bare config =
+    Network.exec ~config:(Network.Config.with_bandwidth 4096 config) g proto
+  in
+  let r_bare = bare Network.Config.default in
+  let metrics_only config =
+    let m = Metrics.create g in
+    let config =
+      config
+      |> Network.Config.with_bandwidth 4096
+      |> Network.Config.with_observe (Observe.make ~metrics:m ())
+    in
+    (Network.exec ~config g proto, m)
+  in
+  let (r_mseq, m_mseq) = metrics_only Network.Config.default in
   List.iter
     (fun (k, e) ->
       let name = Printf.sprintf "%s[domains=%d,epoch=%d]" name k e in
@@ -212,7 +232,21 @@ let diff_sharded name proto g =
         (r_seq.Network.report = r_k.Network.report);
       metrics_equal name m_seq m_k;
       check_bool (name ^ ": trace events") true
-        (Trace.events t_seq = Trace.events t_k))
+        (Trace.events t_seq = Trace.events t_k);
+      let cfg = Network.Config.make ~domains:k ~epoch:e () in
+      let r_b = bare cfg in
+      check_bool (name ^ ": unobserved states") true
+        (r_bare.Network.states = r_b.Network.states);
+      check (name ^ ": unobserved rounds") r_bare.Network.rounds
+        r_b.Network.rounds;
+      check_bool (name ^ ": unobserved report") true
+        (r_bare.Network.report = r_b.Network.report);
+      let (r_m, m_m) = metrics_only cfg in
+      check_bool (name ^ ": metrics-only states") true
+        (r_mseq.Network.states = r_m.Network.states);
+      check_bool (name ^ ": metrics-only report") true
+        (r_mseq.Network.report = r_m.Network.report);
+      metrics_equal (name ^ ": metrics-only") m_mseq m_m)
     sweep_points
 
 let diff_all_protocols name g =
@@ -446,36 +480,22 @@ let test_domains_validation () =
   expect_invalid "epoch=0" (Network.Config.make ~epoch:0 ());
   expect_invalid "steal=0" (Network.Config.make ~steal:0 ());
   expect_invalid "domains=-3" (Network.Config.default |> Network.Config.with_domains (-3));
-  (* A fault plan and a sharded run are mutually exclusive; the engine
-     must refuse loudly, not silently fall back to one of them. *)
-  let plan = Fault.make ~spec:{ Fault.default with drop = 0.1 } ~seed:7 () in
-  (try
-     ignore
-       (Network.exec
-          ~config:(Network.Config.make ~domains:2 ~faults:plan ())
-          g hello);
-     Alcotest.fail "expected Invalid_argument for faults + domains>1"
-   with Invalid_argument m ->
-     check_bool "error names the restriction" true
-       (String.length m > 0
-       && String.lowercase_ascii m <> ""
-       &&
-       let has sub =
-         let n = String.length m and k = String.length sub in
-         let rec go i = i + k <= n && (String.sub m i k = sub || go (i + 1)) in
-         go 0
-       in
-       has "fault" && has "domains"));
-  (* The epoch knob never conflicts with a fault plan: epochs batch the
-     sharded scheduler's barriers, and a plan forces the sequential
-     engine, where any epoch setting is simply inert. *)
+  (* A fault plan composes with a sharded run: the sharded clocked
+     engine accepts it and completes, at any epoch/steal setting (both
+     are inert on the clocked engines). *)
+  let fresh () = Fault.make ~spec:{ Fault.default with drop = 0.1 } ~seed:7 () in
   ignore
     (Network.exec
-       ~config:(Network.Config.make ~domains:1 ~epoch:8 ~faults:plan ())
+       ~config:(Network.Config.make ~domains:2 ~faults:(fresh ()) ())
        g hello);
-  (* ... and the refusal is about the shard count, not the epoch. *)
-  expect_invalid "faults + domains=2 + epoch=1"
-    (Network.Config.make ~domains:2 ~epoch:1 ~faults:plan ())
+  ignore
+    (Network.exec
+       ~config:(Network.Config.make ~domains:1 ~epoch:8 ~faults:(fresh ()) ())
+       g hello);
+  ignore
+    (Network.exec
+       ~config:(Network.Config.make ~domains:2 ~epoch:1 ~faults:(fresh ()) ())
+       g hello)
 
 (* The deprecated labelled entry point must stay a pure alias: same
    states, rounds, report, and observations as a config-driven exec. *)
@@ -560,7 +580,7 @@ let words_now () =
    engine's fresh inbox array and whole-network scans), the words-per-
    round figure would be >= n; the flat-array loop must stay at a small
    constant (a handful of cons cells and tuples per delivered message). *)
-let token_ring_words n ttl =
+let token_ring_words ?(config = Network.Config.default) n ttl =
   let g = Gen.cycle n in
   let next v src = if (v + 1) mod n = src then (v + n - 1) mod n else (v + 1) mod n in
   let proto =
@@ -576,25 +596,52 @@ let token_ring_words n ttl =
   in
   let before = words_now () in
   let r =
-    Network.exec ~config:(Network.Config.make ~max_rounds:(ttl + 8) ()) g proto
+    Network.exec
+      ~config:(Network.Config.with_max_rounds (ttl + 8) config)
+      g proto
   in
   let after = words_now () in
   check "token ran out" (ttl + 1) r.Network.rounds;
   after -. before
 
+let per_round_words config n =
+  ignore (token_ring_words ~config n 16);
+  (* warm-up *)
+  let short = token_ring_words ~config n 500 in
+  let long = token_ring_words ~config n 1_500 in
+  (long -. short) /. 1_000.
+
 let test_quiescent_round_allocation () =
   let n = 5_000 in
-  ignore (token_ring_words n 16);
-  (* warm-up *)
-  let short = token_ring_words n 500 in
-  let long = token_ring_words n 1_500 in
-  let per_round = (long -. short) /. 1_000. in
+  let per_round = per_round_words Network.Config.default n in
   (* One active node, one message: a round's marginal allocation must be
      a small constant, nowhere near n words. *)
   check_bool
     (Printf.sprintf "per-round allocation is O(1): %.1f words/round" per_round)
     true
     (per_round < 100.)
+
+(* The sharded engine without observation is the benchmark hot path: a
+   round must not buffer events or frames (the deferred-observation
+   machinery is for observed runs only), so its marginal allocation is
+   the same small constant as the sequential engine's — not O(messages)
+   of event log, and certainly not O(n). Chunk mode (epoch 1) and the
+   fused scheduler (epoch 8) take different commit paths; both are
+   pinned. *)
+let test_parallel_round_allocation () =
+  let n = 5_000 in
+  List.iter
+    (fun epoch ->
+      let config = Network.Config.make ~domains:2 ~epoch () in
+      let per_round = per_round_words config n in
+      check_bool
+        (Printf.sprintf
+           "unobserved parallel rounds allocate O(1) [epoch=%d]: %.1f \
+            words/round"
+           epoch per_round)
+        true
+        (per_round < 100.))
+    [ 1; 8 ]
 
 let () =
   let seeded = List.map QCheck_alcotest.to_alcotest seeded_props in
@@ -621,5 +668,7 @@ let () =
         [
           Alcotest.test_case "quiescent rounds allocate O(1)" `Quick
             test_quiescent_round_allocation;
+          Alcotest.test_case "unobserved parallel rounds allocate O(1)" `Quick
+            test_parallel_round_allocation;
         ] );
     ]

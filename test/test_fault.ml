@@ -59,14 +59,14 @@ let fault_events tr =
       | _ -> None)
     (Trace.events tr)
 
-let run_observed ?spec ~seed g proto =
+let run_observed ?spec ?(domains = 1) ~seed g proto =
   let plan = Fault.make ?spec ~seed () in
   let m = Metrics.create g in
   let tr = Trace.create () in
   let r =
     Network.exec
       ~config:
-        (cfg ~bandwidth:4096
+        (cfg ~bandwidth:4096 ~domains
            ~observe:(Observe.make ~metrics:m ~trace:tr ())
            ~faults:plan ())
       g proto
@@ -317,6 +317,130 @@ let test_embedder_determinism_under_faults () =
   check "same seed, same embedder rounds" r1 r2;
   check_bool "same seed, same fault stats" true (s1 = s2)
 
+(* ------------------------------------------------------------------ *)
+(* Sharded fault engine (faults x domains > 1)                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_sharded_same_seed_same_run () =
+  (* The PR 10 contract: a fault plan composes with [domains > 1] and
+     the run is a pure function of (seed, domains) — states, rounds,
+     fault stats, metrics and the trace timeline all replay exactly. *)
+  let g = Gen.grid 6 7 in
+  let (r1, m1, t1, p1) =
+    run_observed ~spec:lossy_spec ~domains:2 ~seed:42 g flood
+  in
+  let (r2, m2, t2, p2) =
+    run_observed ~spec:lossy_spec ~domains:2 ~seed:42 g flood
+  in
+  check_bool "states" true (r1.Network.states = r2.Network.states);
+  check "rounds" r1.Network.rounds r2.Network.rounds;
+  check_bool "report" true (r1.Network.report = r2.Network.report);
+  check_bool "fault stats" true (Fault.stats p1 = Fault.stats p2);
+  check_bool "fault counts in metrics" true
+    (Metrics.faults m1 = Metrics.faults m2);
+  check_bool "trace events (incl. fault timeline)" true
+    (Trace.events t1 = Trace.events t2);
+  check_bool "round log" true (Metrics.round_log m1 = Metrics.round_log m2)
+
+let test_sharded_stream_distinct () =
+  (* Documented, deliberate: the sharded engine draws fates from keyed
+     substreams, so the same seed at a different domain count is a
+     different (equally deterministic) fault schedule. If these two runs
+     ever coincide, substream keying has silently collapsed. *)
+  let g = Gen.grid 6 7 in
+  let (_, _, t1, p1) = run_observed ~spec:lossy_spec ~domains:1 ~seed:42 g flood in
+  let (_, _, t2, p2) = run_observed ~spec:lossy_spec ~domains:2 ~seed:42 g flood in
+  check_bool "same seed, different domains: distinct fault timeline" false
+    (Fault.stats p1 = Fault.stats p2 && Trace.events t1 = Trace.events t2)
+
+let test_sharded_crash_schedule () =
+  (* Deterministic scheduled faults must land on the same rounds no
+     matter how the nodes are sharded: the crash/restart pair fires
+     exactly once each, deliveries into the outage are discarded, and
+     reliable flood still converges to the true maximum. *)
+  let g = Gen.cycle 12 in
+  let spec =
+    {
+      Fault.default with
+      Fault.crashes = [ { Fault.node = 5; at = 2; restart = Some 9 } ];
+    }
+  in
+  let run () =
+    let plan = Fault.make ~spec ~seed:11 () in
+    let r = Reliable.exec ~domains:2 ~faults:plan g flood in
+    (r, Fault.stats plan)
+  in
+  let (r1, s1) = run () in
+  let (r2, s2) = run () in
+  check "one crash" 1 s1.Fault.crashes;
+  check "one restart" 1 s1.Fault.restarts;
+  check_bool "outage discarded deliveries" true (s1.Fault.crash_lost > 0);
+  Array.iter (fun s -> check "flood fixpoint" 11 s) r1.Network.states;
+  check_bool "sharded crash run replays" true
+    (r1.Network.states = r2.Network.states
+    && r1.Network.rounds = r2.Network.rounds
+    && s1 = s2)
+
+let test_sharded_embedder_over_lossy_links () =
+  (* The end-to-end bar at domains = 2: the reliable-wrapped embedder
+     over lossy links still produces Euler-verified embeddings, and the
+     whole run replays for a fixed (seed, domains). *)
+  List.iter
+    (fun (name, g) ->
+      let run () =
+        let plan = Fault.make ~spec:lossy_spec ~seed:31 () in
+        let o = Embedder.run ~config:(cfg ~faults:plan ~domains:2 ()) g in
+        (o, Fault.stats plan)
+      in
+      let (o1, s1) = run () in
+      let (_, s2) = run () in
+      (match o1.Embedder.rotation with
+      | None -> Alcotest.fail (name ^ ": embedder lost a planar graph")
+      | Some rot ->
+          check_bool (name ^ ": Euler check passes") true
+            (Rotation.is_planar_embedding rot));
+      check_bool (name ^ ": faults actually fired") true (s1.Fault.dropped > 0);
+      check_bool (name ^ ": sharded run replays") true (s1 = s2))
+    [
+      ("grid 6x6", Gen.grid 6 6);
+      ("wheel 12", Gen.wheel 12);
+      ("maximal planar", Gen.random_maximal_planar ~seed:8 35);
+    ]
+
+let test_chaos_sweep_jobs_identical () =
+  (* The `distplanar chaos --jobs/--domains` contract, pinned at the
+     library level: a seed sweep over the sharded faulty engine prints
+     byte-identical rows whether the sweep runs serially or fanned out
+     over Pool.map — each run builds its own plan, so the only shared
+     state is the read-only graph. *)
+  let g = Gen.grid 6 6 in
+  let one i =
+    let seed = 100 + i in
+    let plan = Fault.make ~spec:lossy_spec ~seed () in
+    let o = Embedder.run ~config:(cfg ~faults:plan ~domains:2 ()) g in
+    let s = Fault.stats plan in
+    let verdict =
+      match o.Embedder.rotation with
+      | Some rot when Rotation.is_planar_embedding rot -> "planar, Euler ok"
+      | Some _ -> "EULER CHECK FAILED"
+      | None -> "NOT PLANAR"
+    in
+    Printf.sprintf
+      "seed=%d rounds=%d drops=%d dups=%d reorders=%d delays=%d verdict=%s"
+      seed o.Embedder.report.Embedder.rounds s.Fault.dropped s.Fault.duplicated
+      s.Fault.reordered s.Fault.delayed verdict
+  in
+  let render jobs = Array.to_list (Pool.map ~jobs 6 one) in
+  let serial = render 1 in
+  let pooled = render 4 in
+  List.iter
+    (fun row ->
+      check_bool (row ^ ": embeds correctly") true
+        (String.length row > 0
+        && String.sub row (String.length row - 8) 8 = "Euler ok"))
+    serial;
+  check_bool "pooled sweep output = serial sweep output" true (serial = pooled)
+
 let () =
   Alcotest.run "fault"
     [
@@ -346,5 +470,18 @@ let () =
             test_embedder_over_lossy_links;
           Alcotest.test_case "embedder determinism under faults" `Quick
             test_embedder_determinism_under_faults;
+        ] );
+      ( "sharded faults",
+        [
+          Alcotest.test_case "same seed + domains, same run" `Quick
+            test_sharded_same_seed_same_run;
+          Alcotest.test_case "domain counts are stream-distinct" `Quick
+            test_sharded_stream_distinct;
+          Alcotest.test_case "crash schedule honored across shards" `Quick
+            test_sharded_crash_schedule;
+          Alcotest.test_case "embedder over lossy links, domains=2" `Quick
+            test_sharded_embedder_over_lossy_links;
+          Alcotest.test_case "chaos sweep: jobs don't change output" `Quick
+            test_chaos_sweep_jobs_identical;
         ] );
     ]

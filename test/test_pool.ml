@@ -40,17 +40,28 @@ let test_exception_propagation () =
     [ 1; 4 ]
 
 let test_nested_rejection () =
-  try
-    ignore
+  (* On a single-core host the jobs cap collapses both maps to the
+     sequential path, which never trips the nesting guard — nesting
+     sequential maps is documented as harmless. *)
+  if Pool.default_jobs () <= 1 then
+    check_bool "sequential nesting is harmless" true
       (Pool.map ~jobs:2 4 (fun i ->
            if i = 0 then ignore (Pool.map ~jobs:2 4 (fun j -> j));
-           i));
-    Alcotest.fail "expected Task_failed wrapping Invalid_argument"
-  with Pool.Task_failed { exn; _ } -> (
-    match exn with
-    | Pool.Task_failed { exn = Invalid_argument _; _ } | Invalid_argument _ ->
-        ()
-    | e -> raise e)
+           i)
+      = [| 0; 1; 2; 3 |])
+  else
+    try
+      ignore
+        (Pool.map ~jobs:2 4 (fun i ->
+             if i = 0 then ignore (Pool.map ~jobs:2 4 (fun j -> j));
+             i));
+      Alcotest.fail "expected Task_failed wrapping Invalid_argument"
+    with Pool.Task_failed { exn; _ } -> (
+      match exn with
+      | Pool.Task_failed { exn = Invalid_argument _; _ } | Invalid_argument _
+        ->
+          ()
+      | e -> raise e)
 
 let test_reuse_after_failure () =
   (* A failed sweep must release the pool for the next one. *)
